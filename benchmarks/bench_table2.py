@@ -1,0 +1,30 @@
+"""Table II -- computational nodes used in the performance evaluation.
+
+Paper: six machine models across Grid'5000 and Santos Dumont, three size
+categories each.  Measured: our calibrated catalog (same machines; the
+throughput column is this reproduction's calibration).
+"""
+
+from conftest import emit
+
+from repro.evaluate import format_table, table2
+
+
+def test_table2_node_catalog(benchmark):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+
+    text = format_table(
+        ["cat", "site", "machine", "CPU", "GPU", "GFlop/s", "NIC Gb/s"],
+        [
+            [r["category"], r["site"], r["machine"], r["cpu"], r["gpu"],
+             f"{r['total_gflops']:.0f}", f"{r['nic_gbps']:.0f}"]
+            for r in rows
+        ],
+    )
+    emit("table2", text)
+
+    assert len(rows) == 6
+    # Category ordering within each site: L >= M >= S in throughput.
+    for site in ("G5K", "SD"):
+        speeds = {r["category"]: r["total_gflops"] for r in rows if r["site"] == site}
+        assert speeds["L"] >= speeds["M"] >= speeds["S"]

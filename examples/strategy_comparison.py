@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare all seven exploration strategies on one scenario.
+
+A miniature of the paper's Figure 6 protocol: sweep scenario (i)
+G5K 6L-30S once (cached), then evaluate every strategy by resampling
+from the bank, and render the scenario's duration-vs-nodes curve in
+ASCII together with the gains table.
+
+Run:  python examples/strategy_comparison.py [scenario-key] [reps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import cached_bank, get_scenario
+from repro.evaluate import evaluate_scenario, evaluation_table
+from repro.viz import line_plot
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "i"
+    reps = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    scenario = get_scenario(key)
+    print(f"sweeping {scenario.full_label} (cached after the first run)...")
+    bank = cached_bank(scenario, progress=True)
+
+    x = np.asarray(bank.actions, dtype=float)
+    print("\niteration duration vs number of factorization nodes:")
+    print(
+        line_plot(
+            x,
+            {
+                "measured": np.array([bank.mean(n) for n in bank.actions]),
+                "LP bound": np.array([bank.lp[n] for n in bank.actions]),
+            },
+            x_label="number of factorization nodes",
+            y_label="iteration time [s]",
+        )
+    )
+    print(f"\nbest configuration: n = {bank.best_action()} "
+          f"({bank.mean(bank.best_action()):.1f} s vs "
+          f"{bank.mean(bank.n_total):.1f} s with all {bank.n_total} nodes)")
+
+    print(f"\nevaluating 7 strategies x {reps} repetitions x 127 iterations...")
+    evaluation = evaluate_scenario(bank, reps=reps)
+    print()
+    print(evaluation_table(evaluation))
+
+
+if __name__ == "__main__":
+    main()

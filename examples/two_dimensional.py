@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Future work, implemented: learning BOTH phase node counts online.
+
+The paper's Figure 8 shows that on (f) G5K 2L-6M-15S 128 the generation
+phase should also give up nodes: 10 generation + 8 factorization nodes
+beat the best all-generation configuration.  This example runs the 2-D
+GP strategy over (n_gen, n_fact) pairs and compares what it finds with
+the exhaustive 2-D sweep.
+
+Run:  python examples/two_dimensional.py
+"""
+
+import numpy as np
+
+from repro import ExaGeoStat, Workload, get_scenario
+from repro.distribution import LPBoundCalculator
+from repro.measure import for_mode
+from repro.strategies import GP2DStrategy
+from repro.viz import heatmap
+
+SCENARIO = "f"
+ITERATIONS = 40
+
+
+def main() -> None:
+    scenario = get_scenario(SCENARIO)
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    print(f"scenario: {scenario.full_label} ({len(cluster)} nodes)")
+
+    lp = LPBoundCalculator(cluster, workload)
+    lo = max(2, cluster.min_nodes_for(workload.matrix_bytes))
+    counts = list(range(lo, len(cluster) + 1, 2))
+    if counts[-1] != len(cluster):
+        counts.append(len(cluster))
+
+    # Exhaustive reference (what Figure 8 plots).
+    app = ExaGeoStat(cluster, workload)
+    grid = np.array(
+        [[app.measure(f, g) for f in counts] for g in counts]
+    )
+    print("\nexhaustive 2-D sweep (rows n_gen, cols n_fact, dark = fast):")
+    print(heatmap(grid, row_labels=counts, col_labels=counts))
+    gi, fi = np.unravel_index(np.argmin(grid), grid.shape)
+    print(f"sweep optimum: n_gen={counts[gi]}, n_fact={counts[fi]} "
+          f"({grid[gi, fi]:.2f} s); all-nodes {grid[-1, -1]:.2f} s")
+
+    # Online 2-D adaptation.
+    noise = for_mode(scenario.mode)
+    app2 = ExaGeoStat(cluster, workload,
+                      noise=lambda d, rng: noise.sample(d, rng), seed=0)
+    pairs = [(g, f) for g in counts for f in counts]
+    strategy = GP2DStrategy(
+        pairs=pairs, n_total=len(cluster),
+        lp_bound=lambda g, f: max(lp.generation(g), lp.fact(f)),
+        seed=0,
+    )
+    result = app2.run2d(strategy, ITERATIONS)
+    best = strategy.best_observed()
+    print(f"\nGP-2D after {ITERATIONS} iterations: best observed pair "
+          f"(n_gen, n_fact) = {best}")
+    print(f"pairs tried: {len(strategy._stats)} of {len(pairs)} "
+          f"({len(pairs) - len(strategy.allowed_pairs())} pruned by the LP bound)")
+    print(f"duration at GP-2D's pair: {app.measure(best[1], best[0]):.2f} s "
+          f"(sweep optimum {grid[gi, fi]:.2f} s, all-nodes {grid[-1, -1]:.2f} s)")
+
+
+if __name__ == "__main__":
+    main()

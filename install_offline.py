@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Editable install for fully-offline machines.
+
+``pip install -e .`` needs the ``wheel`` package (or network access to
+fetch it).  On air-gapped systems without it, this script achieves the
+same effect by registering ``src/`` on the interpreter's path via a
+``.pth`` file in site-packages.
+
+Usage:  python install_offline.py [--uninstall]
+"""
+
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-editable.pth"
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent / "src"
+    if not (src / "repro" / "__init__.py").exists():
+        print(f"error: {src} does not contain the repro package", file=sys.stderr)
+        return 1
+    site_dir = Path(site.getsitepackages()[0])
+    pth = site_dir / PTH_NAME
+    if "--uninstall" in sys.argv:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print("not installed")
+        return 0
+    pth.write_text(str(src) + "\n")
+    print(f"wrote {pth} -> {src}")
+    print("verify with: python -c 'import repro; print(repro.__version__)'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+offline systems lacking the ``wheel`` package (legacy ``setup.py develop``
+path).
+"""
+
+from setuptools import setup
+
+setup()

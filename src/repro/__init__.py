@@ -1,0 +1,42 @@
+"""repro: reproduction of "Multi-Phase Task-Based HPC Applications:
+Quickly Learning how to Run Fast" (Nesi, Schnorr, Legrand -- IPDPS 2022).
+
+Top-level convenience re-exports; the subpackages are:
+
+- :mod:`repro.platform`      heterogeneous clusters (Table II, scenarios)
+- :mod:`repro.runtime`       StarPU-like task runtime + discrete-event sim
+- :mod:`repro.linalg`        tile Cholesky / solve / determinant / dot
+- :mod:`repro.distribution`  heterogeneous distributions + LP lower bound
+- :mod:`repro.geostat`       the ExaGeoStat multi-phase application
+- :mod:`repro.gp`            Gaussian-process surrogate (universal kriging)
+- :mod:`repro.strategies`    the 7 exploration strategies
+- :mod:`repro.measure`       noise models, measurement banks, sweeps
+- :mod:`repro.evaluate`      experiment drivers for every table/figure
+- :mod:`repro.viz`           ASCII charts
+"""
+
+from .geostat import ExaGeoStat, IterationPlan
+from .measure import MeasurementBank, cached_bank, sweep_scenario
+from .platform import SCENARIOS, Cluster, Scenario, all_scenarios, get_scenario
+from .strategies import ActionSpace, make_strategy, strategy_names
+from .workload import Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionSpace",
+    "Cluster",
+    "ExaGeoStat",
+    "IterationPlan",
+    "MeasurementBank",
+    "SCENARIOS",
+    "Scenario",
+    "Workload",
+    "all_scenarios",
+    "cached_bank",
+    "get_scenario",
+    "make_strategy",
+    "strategy_names",
+    "sweep_scenario",
+    "__version__",
+]

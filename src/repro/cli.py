@@ -1,0 +1,232 @@
+"""Command-line interface: regenerate any table/figure from the terminal.
+
+Examples
+--------
+::
+
+    python -m repro table2
+    python -m repro sweep i                 # Figure 2/5 style curve
+    python -m repro compare i --reps 10     # Figure 6 panel
+    python -m repro replay i GP-discontinuous --iterations 5 8 20 100
+    python -m repro fig6 --reps 10          # all 16 scenarios
+    python -m repro overhead                # Figure 7
+    python -m repro grid f                  # Figure 8 heatmap
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_table2(args) -> None:
+    from .evaluate import format_table, table2
+
+    rows = table2()
+    print(format_table(
+        ["cat", "site", "machine", "CPU", "GPU", "GFlop/s", "NIC Gb/s"],
+        [[r["category"], r["site"], r["machine"], r["cpu"], r["gpu"],
+          f"{r['total_gflops']:.0f}", f"{r['nic_gbps']:.0f}"] for r in rows],
+    ))
+
+
+def _cmd_scenarios(args) -> None:
+    from .evaluate import format_table
+    from .platform import all_scenarios
+
+    print(format_table(
+        ["key", "label", "mode", "nodes"],
+        [[s.key, s.label, s.mode, s.total_nodes] for s in all_scenarios()],
+    ))
+
+
+def _cmd_sweep(args) -> None:
+    from .evaluate import sweep_table
+    from .measure import cached_bank
+    from .platform import get_scenario
+    from .viz import line_plot
+
+    bank = cached_bank(get_scenario(args.scenario), progress=True)
+    print(sweep_table(bank))
+    x = np.asarray(bank.actions, dtype=float)
+    print(line_plot(
+        x,
+        {"measured": np.array([bank.mean(n) for n in bank.actions]),
+         "LP": np.array([bank.lp[n] for n in bank.actions])},
+        x_label="factorization nodes", y_label="iteration time [s]",
+    ))
+
+
+def _cmd_compare(args) -> None:
+    from .evaluate import evaluate_scenario, evaluation_table
+    from .measure import cached_bank
+    from .platform import get_scenario
+
+    bank = cached_bank(get_scenario(args.scenario), progress=True)
+    print(evaluation_table(evaluate_scenario(bank, reps=args.reps)))
+
+
+def _cmd_fig6(args) -> None:
+    from .evaluate import figure6, figure6_matrix
+
+    evaluations = figure6(reps=args.reps, progress=True)
+    print(figure6_matrix(evaluations))
+
+
+def _cmd_replay(args) -> None:
+    from .evaluate import figure4_snapshots
+    from .measure import cached_bank
+    from .platform import get_scenario
+
+    bank = cached_bank(get_scenario(args.scenario), progress=True)
+    snaps = figure4_snapshots(bank, args.strategy, iterations=args.iterations)
+    print(f"{args.strategy} on {bank.label} (optimum n = {bank.best_action()})")
+    for snap in snaps:
+        chosen = " ".join(f"{n}:{c}" for n, c in sorted(snap.counts.items()))
+        print(f"iteration {snap.iteration:>3}: next n = {snap.next_action:>3} | {chosen}")
+
+
+def _cmd_overhead(args) -> None:
+    from .evaluate import figure7
+
+    result = figure7(reps=args.reps, iterations=args.iterations)
+    means = result.mean_per_iteration * 1e3
+    print("per-iteration overhead [ms]:",
+          np.array2string(means, precision=2))
+    print(f"steady state: {result.steady_state_mean * 1e3:.2f} ms; "
+          f"relative: {result.relative_overhead:.4%}")
+
+
+def _cmd_grid(args) -> None:
+    from .evaluate import figure8
+    from .viz import heatmap
+
+    result = figure8(args.scenario, step=args.step, progress=True)
+    print(heatmap(result.durations, row_labels=result.gen_counts,
+                  col_labels=result.fact_counts))
+    gen, fact, dur = result.best()
+    print(f"best: n_gen={gen}, n_fact={fact} ({dur:.2f} s); "
+          f"all-nodes {result.all_nodes_duration():.2f} s")
+
+
+def _cmd_trace(args) -> None:
+    from .evaluate import figure1
+
+    result = figure1(args.scenario)
+    for desc, art, makespan in zip(result.descriptions, result.timelines,
+                                   result.makespans):
+        print(f"\n{desc} (makespan {makespan:.2f} s)\n{art}")
+
+
+def _cmd_predict(args) -> None:
+    from .geostat import MaternParams, holdout_experiment
+
+    params = MaternParams(range_=args.range_, nugget=1e-4)
+    out = holdout_experiment(
+        n_total=args.points, n_missing=args.missing, params=params,
+        seed=args.seed,
+    )
+    print(f"hold-out prediction of {args.missing} of {args.points} points "
+          f"(Matern range {args.range_}):")
+    print(f"  kriging MSPE : {out['mspe_kriging']:.4f}")
+    print(f"  trivial MSPE : {out['mspe_trivial']:.4f}")
+    print(f"  95% coverage : {out['coverage95']:.0%}")
+
+
+def _cmd_checks(args) -> None:
+    from .measure import consistency_report
+    from .platform import get_scenario
+    from .workload import Workload
+
+    scenario = get_scenario(args.scenario)
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    n_fact = args.n_fact or max(2, len(cluster) // 2)
+    print(f"simulator consistency checks on {scenario.full_label}, "
+          f"n_fact={n_fact}:")
+    ok = True
+    for c in consistency_report(cluster, workload, n_fact):
+        status = "PASS" if c.passed else "FAIL"
+        ok = ok and c.passed
+        print(f"  [{status}] {c.name:24} {c.detail}")
+    if not ok:
+        sys.exit(1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IPDPS 2022 multi-phase adaptation paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="machine catalog").set_defaults(fn=_cmd_table2)
+    sub.add_parser("scenarios", help="the 16 scenarios").set_defaults(fn=_cmd_scenarios)
+
+    p = sub.add_parser("sweep", help="duration-vs-nodes curve (Fig 2/5)")
+    p.add_argument("scenario", help="scenario key a..p")
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("compare", help="all strategies on one scenario (Fig 6 panel)")
+    p.add_argument("scenario")
+    p.add_argument("--reps", type=int, default=10)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("fig6", help="all strategies on all scenarios")
+    p.add_argument("--reps", type=int, default=10)
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("replay", help="step-by-step GP state (Fig 4)")
+    p.add_argument("scenario")
+    p.add_argument("strategy")
+    p.add_argument("--iterations", type=int, nargs="+", default=[5, 8, 20, 100])
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("overhead", help="online strategy overhead (Fig 7)")
+    p.add_argument("--reps", type=int, default=10)
+    p.add_argument("--iterations", type=int, default=30)
+    p.set_defaults(fn=_cmd_overhead)
+
+    p = sub.add_parser("grid", help="2-D gen x fact sweep (Fig 8)")
+    p.add_argument("scenario", nargs="?", default="f")
+    p.add_argument("--step", type=int, default=2)
+    p.set_defaults(fn=_cmd_grid)
+
+    p = sub.add_parser("trace", help="three-iteration timelines (Fig 1)")
+    p.add_argument("scenario", nargs="?", default="b")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("predict", help="kriging prediction of held-out points")
+    p.add_argument("--points", type=int, default=100)
+    p.add_argument("--missing", type=int, default=20)
+    p.add_argument("--range", dest="range_", type=float, default=0.2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("checks", help="simulator consistency checks")
+    p.add_argument("scenario", nargs="?", default="b")
+    p.add_argument("--n-fact", type=int, default=0)
+    p.set_defaults(fn=_cmd_checks)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        import os
+
+        os.close(sys.stdout.fileno())
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Homogeneous block-cyclic distributions (the classical baseline).
+
+The rigid block-cyclic distribution is the traditional HPC layout the
+paper's introduction criticizes ("the same rigid block-cyclic
+distributions across all application phases often incur spurious
+communication overheads").  We provide 1-D and 2-D variants; the
+heterogeneous weighted scheme generalizes them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from .base import TileDistribution
+
+
+def grid_shape(n: int) -> Tuple[int, int]:
+    """Most-square process grid p x q with p * q = n and p <= q."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    p = int(math.isqrt(n))
+    while n % p:
+        p -= 1
+    return p, n // p
+
+
+def one_d_cyclic(n: int) -> TileDistribution:
+    """1-D row-cyclic distribution over ``n`` nodes."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+
+    def owner(i: int, j: int) -> int:
+        return i % n
+
+    return owner
+
+
+def two_d_block_cyclic(n: int, shape: Optional[Tuple[int, int]] = None) -> TileDistribution:
+    """2-D block-cyclic distribution over ``n`` nodes.
+
+    ``shape`` overrides the default most-square grid; ``p * q`` must equal
+    ``n``.
+    """
+    p, q = grid_shape(n) if shape is None else shape
+    if p * q != n:
+        raise ValueError(f"grid {p}x{q} does not match n={n}")
+
+    def owner(i: int, j: int) -> int:
+        return (i % p) * q + (j % q)
+
+    return owner

@@ -1,0 +1,194 @@
+"""Linear-program makespan lower bound and ideal task allocation.
+
+Reimplements the LP of Nesi et al. [4] that the paper uses both to shape
+distributions and as the "LP Prediction" lower bound of Figures 2/4/5 and
+as the search-space bounding mechanism of GP-discontinuous (Section IV-D).
+
+Given ``n`` nodes with per-kernel aggregate rates and the kernel task
+counts of a phase, the LP finds the fractional allocation ``x[i, k]``
+(tasks of kernel ``k`` on node ``i``) minimizing the makespan ``M``::
+
+    minimize M
+    s.t.  sum_i x[i, k]              = count_k     (all tasks placed)
+          sum_k d[i, k] * x[i, k]   <= M           (per-node busy time)
+          x >= 0
+
+The bound is optimistic by construction: it ignores communications,
+dependencies and the critical path -- exactly as described in the paper
+("the bound given by the linear program is optimistic and does not
+consider communications nor critical path").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..platform.cluster import Cluster
+from ..runtime.perfmodel import CPU, GPU, PerfModel
+from ..workload import Workload
+
+#: Kernel types of the factorization phase, with per-task flops given a
+#: workload (see repro.linalg.kernels).
+FACTORIZATION_KERNELS = ("potrf", "trsm", "syrk", "gemm")
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """LP solution: the makespan bound and the per-node task allocation."""
+
+    makespan: float
+    allocation: np.ndarray  # shape (n_nodes, n_kernels)
+    kernels: Sequence[str]
+
+
+def lp_task_allocation(
+    durations: np.ndarray, counts: Sequence[float], kernels: Sequence[str] = ()
+) -> LPResult:
+    """Solve the allocation LP.
+
+    Parameters
+    ----------
+    durations:
+        Array (n_nodes, n_kernels): duration of one task of each kernel on
+        each node (``inf`` marks kernels a node cannot run).
+    counts:
+        Tasks of each kernel to place.
+    """
+    durations = np.asarray(durations, dtype=float)
+    if durations.ndim != 2:
+        raise ValueError("durations must be 2-D (nodes x kernels)")
+    n, k = durations.shape
+    if len(counts) != k:
+        raise ValueError("counts length must match the kernel dimension")
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+
+    # Variables: x[i, j] flattened row-major, then M.
+    nvar = n * k + 1
+    c = np.zeros(nvar)
+    c[-1] = 1.0
+
+    a_eq = np.zeros((k, nvar))
+    for j in range(k):
+        a_eq[j, j::k][:n] = 1.0
+    b_eq = np.asarray(counts, dtype=float)
+
+    a_ub = np.zeros((n, nvar))
+    for i in range(n):
+        a_ub[i, i * k : (i + 1) * k] = durations[i]
+        a_ub[i, -1] = -1.0
+    b_ub = np.zeros(n)
+
+    bounds = [(0, None)] * nvar
+    # Forbid impossible placements.
+    finite = np.isfinite(durations)
+    for i in range(n):
+        for j in range(k):
+            if not finite[i, j]:
+                bounds[i * k + j] = (0, 0)
+                a_ub[i, i * k + j] = 0.0
+
+    res = linprog(c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if not res.success:
+        raise RuntimeError(f"LP failed: {res.message}")
+    x = res.x[:-1].reshape(n, k)
+    return LPResult(makespan=float(res.x[-1]), allocation=x, kernels=tuple(kernels))
+
+
+def node_kernel_rate(node, kernel: str, pm: PerfModel) -> float:
+    """Aggregate effective GFlop/s of one node for one kernel.
+
+    Sums the effective rates of every worker able to run the kernel
+    (the node processes many independent tile tasks concurrently).
+    """
+    nt = node.node_type
+    rate = 0.0
+    if (kernel, CPU) in pm.efficiency:
+        rate += nt.cpu_gflops * pm.efficiency[(kernel, CPU)]
+    if (kernel, GPU) in pm.efficiency and nt.gpus:
+        rate += nt.gpus * nt.gpu_gflops * pm.efficiency[(kernel, GPU)]
+    return rate
+
+
+class LPBoundCalculator:
+    """Cached LP bounds for one (cluster, workload) pair.
+
+    ``fact(n)`` is the factorization-phase bound with the ``n`` fastest
+    nodes; ``generation(n)`` the generation-phase bound;
+    ``iteration(n_fact, n_gen)`` the per-iteration bound assuming perfect
+    phase overlap (the max of the two, plus the negligible final phases).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        workload: Workload,
+        perfmodel: Optional[PerfModel] = None,
+    ) -> None:
+        from ..linalg import kernels as lk
+
+        self.cluster = cluster
+        self.workload = workload
+        self.perfmodel = perfmodel if perfmodel is not None else PerfModel()
+        self._fact_cache: Dict[int, float] = {}
+        self._gen_cache: Dict[int, float] = {}
+
+        t, nb = workload.t, workload.nb
+        counts = lk.cholesky_task_counts(t)
+        self._fact_counts = [counts[k] for k in FACTORIZATION_KERNELS]
+        self._fact_flops = {
+            "potrf": lk.potrf_flops(nb),
+            "trsm": lk.trsm_flops(nb),
+            "syrk": lk.syrk_flops(nb),
+            "gemm": lk.gemm_flops(nb),
+        }
+
+    def _durations(self, n: int, kernels: Sequence[str], flops: Dict[str, float]) -> np.ndarray:
+        rows: List[List[float]] = []
+        for node in self.cluster.subset(n):
+            row = []
+            for k in kernels:
+                rate = node_kernel_rate(node, k, self.perfmodel)
+                row.append(flops[k] / (rate * 1e9) if rate > 0 else np.inf)
+            rows.append(row)
+        return np.asarray(rows)
+
+    def fact(self, n: int) -> float:
+        """Factorization LP bound (seconds) on the ``n`` fastest nodes."""
+        if n not in self._fact_cache:
+            d = self._durations(n, FACTORIZATION_KERNELS, self._fact_flops)
+            res = lp_task_allocation(d, self._fact_counts, FACTORIZATION_KERNELS)
+            self._fact_cache[n] = res.makespan
+        return self._fact_cache[n]
+
+    def fact_allocation(self, n: int) -> LPResult:
+        """Full LP solution (ideal per-node task counts) for n nodes."""
+        d = self._durations(n, FACTORIZATION_KERNELS, self._fact_flops)
+        return lp_task_allocation(d, self._fact_counts, FACTORIZATION_KERNELS)
+
+    def generation(self, n: int) -> float:
+        """Generation LP bound (seconds) on the ``n`` fastest nodes."""
+        if n not in self._gen_cache:
+            flops = {"dcmg": self.workload.generation_flops_per_tile}
+            d = self._durations(n, ("dcmg",), flops)
+            res = lp_task_allocation(d, [self.workload.lower_tile_count], ("dcmg",))
+            self._gen_cache[n] = res.makespan
+        return self._gen_cache[n]
+
+    def iteration(self, n_fact: int, n_gen: Optional[int] = None) -> float:
+        """Iteration lower bound: phases overlap, so the max of the bounds.
+
+        ``n_gen`` defaults to all nodes (the application's standard
+        behaviour, Section IV).
+        """
+        if n_gen is None:
+            n_gen = len(self.cluster)
+        return max(self.fact(n_fact), self.generation(n_gen))
+
+    def __call__(self, n_fact: int) -> float:
+        """Shorthand used by strategies: iteration bound with default n_gen."""
+        return self.iteration(n_fact)

@@ -1,0 +1,364 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation; each returns
+plain data structures that the benchmark harness prints as paper-style
+rows/series (see ``benchmarks/``).  DESIGN.md carries the experiment
+index mapping figures to these drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import config
+from ..geostat import ExaGeoStat, IterationPlan
+from ..gp import GaussianProcess
+from ..measure import MeasurementBank, cached_bank, sweep_2d
+from ..platform import FIGURE2_KEYS, all_scenarios, get_scenario, table2_rows
+from ..runtime import Simulator, render_ascii, utilization_timeline
+from ..strategies import STRATEGY_ORDER, make_strategy
+from ..workload import Workload
+from .overhead import OverheadResult, measure_overhead
+from .runner import ScenarioEvaluation, evaluate_scenarios
+
+# ---------------------------------------------------------------------------
+# Figure 1 -- three iterations, phase overlap, per-node utilization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Result:
+    """Trace art + phase spans for the three illustrative iterations."""
+
+    descriptions: List[str]
+    timelines: List[str]
+    phase_spans: List[Dict[str, Tuple[float, float]]]
+    makespans: List[float]
+
+
+def figure1(scenario_key: str = "b") -> Figure1Result:
+    """Reproduce Figure 1's three iterations on a G5K-like cluster.
+
+    1. a small homogeneous subset for both phases;
+    2. all nodes for both generation and factorization;
+    3. all nodes for generation, only the fastest group for factorization.
+    """
+    scenario = get_scenario(scenario_key)
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    app = ExaGeoStat(cluster, workload)
+    app.simulator = Simulator(cluster, trace=True)
+
+    first_group = cluster.group_boundaries[0]
+    fast_subset = min(8, len(cluster))
+    plans = [
+        (IterationPlan(n_fact=first_group, n_gen=first_group),
+         f"iteration 1: {first_group} homogeneous nodes for both phases"),
+        (IterationPlan(n_fact=len(cluster), n_gen=len(cluster)),
+         f"iteration 2: all {len(cluster)} nodes for both phases"),
+        (IterationPlan(n_fact=fast_subset, n_gen=len(cluster)),
+         f"iteration 3: all nodes for generation, "
+         f"{fast_subset} fastest for factorization"),
+    ]
+    result = Figure1Result([], [], [], [])
+    for plan, text in plans:
+        sim = app.simulate(plan)
+        timeline = utilization_timeline(sim, cluster, nbins=72)
+        result.descriptions.append(text)
+        result.timelines.append(render_ascii(timeline, cluster))
+        result.phase_spans.append(sim.phase_spans)
+        result.makespans.append(sim.makespan)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 5 -- duration vs number of factorization nodes
+# ---------------------------------------------------------------------------
+
+
+def figure2_banks(progress: bool = False) -> Dict[str, MeasurementBank]:
+    """The three representative sweeps of Figure 2 ((c), (i), (p))."""
+    return {
+        key: cached_bank(get_scenario(key), progress=progress)
+        for key in FIGURE2_KEYS
+    }
+
+
+def figure5_banks(
+    progress: bool = False, include_rigid: bool = True
+) -> Dict[str, MeasurementBank]:
+    """All 16 sweeps of Figure 5 (with the rigid gen=fact line)."""
+    return {
+        s.key: cached_bank(s, include_rigid=include_rigid, progress=progress)
+        for s in all_scenarios()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 -- GP fit over the cos function
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Result:
+    """GP fit of cos with 8 measurements (the illustrative example)."""
+
+    x_obs: np.ndarray
+    y_obs: np.ndarray
+    grid: np.ndarray
+    mean: np.ndarray
+    sd: np.ndarray
+    truth: np.ndarray
+    next_point: float
+    coverage_95: float
+
+
+def figure3(n_points: int = 8, seed: int = 42) -> Figure3Result:
+    """Fit a GP to noisy-free cos samples on [0, 4 pi] (Figure 3)."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 4.0 * np.pi, size=n_points))
+    y = np.cos(x)
+    gp = GaussianProcess(noise_var=1e-8, optimize=True).fit(x, y)
+    grid = np.linspace(0.0, 4.0 * np.pi, 400)
+    mean, sd = gp.predict(grid)
+    truth = np.cos(grid)
+    inside = np.abs(truth - mean) <= 1.96 * sd + 1e-9
+    # Figure 3 maximizes: the next point is the UCB argmax.
+    ucb = mean + 2.0 * sd
+    return Figure3Result(
+        x_obs=x, y_obs=y, grid=grid, mean=mean, sd=sd, truth=truth,
+        next_point=float(grid[int(np.argmax(ucb))]),
+        coverage_95=float(inside.mean()),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 -- step-by-step GP state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Snapshot:
+    """GP strategy state right before a given iteration."""
+
+    iteration: int
+    counts: Dict[int, int]
+    grid: np.ndarray
+    mean: Optional[np.ndarray]
+    lcb: Optional[np.ndarray]
+    next_action: int
+
+
+def figure4_snapshots(
+    bank: MeasurementBank,
+    strategy_name: str,
+    iterations: Sequence[int] = (5, 8, 20, 100),
+    seed: int = 0,
+) -> List[Figure4Snapshot]:
+    """Replay a GP strategy on a bank, capturing its internal state.
+
+    A snapshot at iteration ``t`` reflects the model fitted on the first
+    ``t - 1`` observations plus the action chosen for iteration ``t``
+    (the red cross of Figure 4).
+    """
+    space = bank.action_space()
+    strategy = make_strategy(strategy_name, space, seed=seed)
+    rng = np.random.default_rng(seed)
+    snapshots: List[Figure4Snapshot] = []
+    horizon = max(iterations)
+    targets = set(iterations)
+    for t in range(1, horizon + 1):
+        n = strategy.propose()
+        if t in targets:
+            grid = np.asarray(
+                getattr(strategy, "_allowed_actions", lambda: space.actions)(),
+                dtype=float,
+            )
+            mean = lcb = None
+            if getattr(strategy, "gp", None) is not None:
+                mean, sd = strategy.surrogate(grid)
+                lcb = mean - np.sqrt(strategy.current_beta()) * sd
+            snapshots.append(
+                Figure4Snapshot(
+                    iteration=t,
+                    counts={a: strategy.times_selected(a) for a in space.actions
+                            if strategy.times_selected(a)},
+                    grid=grid,
+                    mean=mean,
+                    lcb=lcb,
+                    next_action=n,
+                )
+            )
+        strategy.observe(n, bank.resample(n, rng))
+    return snapshots
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 -- strategies x scenarios
+# ---------------------------------------------------------------------------
+
+
+def figure6(
+    banks: Optional[Dict[str, MeasurementBank]] = None,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    iterations: int = config.EVAL_ITERATIONS,
+    reps: int = config.EVAL_REPETITIONS,
+    progress: bool = False,
+) -> Dict[str, ScenarioEvaluation]:
+    """All strategies on all scenarios (the paper's headline figure)."""
+    if banks is None:
+        banks = figure5_banks(progress=progress, include_rigid=False)
+    return evaluate_scenarios(
+        banks, strategies, iterations=iterations, reps=reps, progress=progress
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 -- GP computation overhead
+# ---------------------------------------------------------------------------
+
+
+def figure7(reps: int = 10, iterations: int = 30) -> OverheadResult:
+    """Online GP-discontinuous overhead per iteration on scenario (b)."""
+    return measure_overhead("b", reps=reps, iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 -- 2-D (generation x factorization) heatmap
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Figure8Result:
+    """2-D sweep result: durations over (n_gen, n_fact)."""
+
+    durations: np.ndarray
+    gen_counts: List[int]
+    fact_counts: List[int]
+
+    def best(self) -> Tuple[int, int, float]:
+        """(n_gen, n_fact, duration) of the fastest configuration."""
+        gi, fi = np.unravel_index(int(np.argmin(self.durations)), self.durations.shape)
+        return self.gen_counts[gi], self.fact_counts[fi], float(self.durations[gi, fi])
+
+    def all_nodes_duration(self) -> float:
+        """Duration of the all-nodes (N, N) plan."""
+        return float(self.durations[-1, -1])
+
+
+def figure8(
+    scenario_key: str = "f", step: int = 2, progress: bool = False
+) -> Figure8Result:
+    """2-D sweep of (f) G5K 2L-6M-15S 128: vary both phase node counts."""
+    scenario = get_scenario(scenario_key)
+    from ..measure.sweep import scenario_actions
+
+    allowed = scenario_actions(scenario)
+    counts = sorted(set(list(allowed[::step]) + [allowed[-1]]))
+    durations, gens, facts = sweep_2d(
+        scenario, gen_counts=counts, fact_counts=counts, progress=progress
+    )
+    return Figure8Result(durations=durations, gen_counts=gens, fact_counts=facts)
+
+
+# ---------------------------------------------------------------------------
+# Table I -- qualitative strategy properties, derived empirically
+# ---------------------------------------------------------------------------
+
+#: The paper's Table I expectations (which properties each strategy has).
+PAPER_TABLE1: Dict[str, frozenset] = {
+    "DC": frozenset({"fast"}),
+    "Right-Left": frozenset({"fast"}),
+    "Brent": frozenset({"fast"}),
+    "UCB": frozenset({"resilient", "optimal"}),
+    "UCB-struct": frozenset({"resilient", "fast"}),
+    "GP-UCB": frozenset({"resilient", "optimal"}),
+    "GP-discontinuous": frozenset({"resilient", "optimal", "fast"}),
+}
+
+
+@dataclass
+class Table1Row:
+    """One empirically derived Table I row."""
+
+    strategy: str
+    resilient: bool
+    optimal: bool
+    fast: bool
+    paper: frozenset
+    near_optimal_scenarios: int
+    total_scenarios: int
+    worst_cv_pct: float
+    early_gain_fraction: float
+
+    @property
+    def derived(self) -> frozenset:
+        """The set of properties this strategy earned empirically."""
+        out = set()
+        if self.resilient:
+            out.add("resilient")
+        if self.optimal:
+            out.add("optimal")
+        if self.fast:
+            out.add("fast")
+        return frozenset(out)
+
+
+def table1(
+    evaluations: Dict[str, ScenarioEvaluation],
+    early_evaluations: Optional[Dict[str, ScenarioEvaluation]] = None,
+) -> List[Table1Row]:
+    """Derive Table I empirically from Figure 6 (and early-horizon) runs.
+
+    * resilient: worst-case coefficient of variation across repetitions
+      stays small (the strategy is not at the mercy of noise);
+    * optimal: ends within 5 % of the clairvoyant total in at least 3/4
+      of the scenarios;
+    * fast: with a short horizon (the ``early_evaluations`` runs, 25
+      iterations) it already realizes >= 30 % of the achievable gain --
+      strategies still deep in their exploration sweep score near zero
+      or negative.
+    """
+    names = [s.name for s in next(iter(evaluations.values())).summaries]
+    rows: List[Table1Row] = []
+    for name in names:
+        cvs, near, early_fracs = [], 0, []
+        for key, ev in evaluations.items():
+            s = ev.summary(name)
+            cvs.append(s.sd_total / max(s.mean_total, 1e-9) * 100.0)
+            if s.mean_total <= ev.oracle_mean * 1.05:
+                near += 1
+            if early_evaluations and key in early_evaluations:
+                eev = early_evaluations[key]
+                es = eev.summary(name)
+                achievable = max(eev.all_nodes_mean - eev.oracle_mean, 1e-9)
+                early_fracs.append((eev.all_nodes_mean - es.mean_total) / achievable)
+        worst_cv = max(cvs)
+        early_frac = float(np.mean(early_fracs)) if early_fracs else float("nan")
+        rows.append(
+            Table1Row(
+                strategy=name,
+                resilient=worst_cv < 2.5,
+                optimal=near >= int(0.75 * len(evaluations)),
+                fast=bool(early_fracs) and early_frac >= 0.3,
+                paper=PAPER_TABLE1.get(name, frozenset()),
+                near_optimal_scenarios=near,
+                total_scenarios=len(evaluations),
+                worst_cv_pct=worst_cv,
+                early_gain_fraction=early_frac,
+            )
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table II -- node catalog
+# ---------------------------------------------------------------------------
+
+
+def table2() -> List[dict]:
+    """The machine catalog rows (calibrated Table II)."""
+    return table2_rows()

@@ -1,0 +1,67 @@
+"""Evaluation metrics: gains, regret, run summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def gain_percent(baseline: float, value: float) -> float:
+    """Acceleration of ``value`` w.r.t. ``baseline`` in percent.
+
+    This is the number printed above each strategy in Figure 6: the gain
+    compared to the standard approach of using all nodes (positive =
+    faster than all-nodes; negative = slower).
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - value) / baseline * 100.0
+
+
+def cumulative_regret(durations: Sequence[float], best_mean: float) -> float:
+    """Total regret: observed time minus the clairvoyant best policy."""
+    return float(sum(durations) - len(durations) * best_mean)
+
+
+@dataclass(frozen=True)
+class StrategySummary:
+    """Aggregated result of one strategy on one scenario (Figure 6 point)."""
+
+    name: str
+    group: str
+    totals: np.ndarray          # total makespan of each repetition
+    gain_pct: float             # vs the all-nodes baseline mean
+
+    @property
+    def mean_total(self) -> float:
+        """Mean total makespan over repetitions (the Figure 6 point)."""
+        return float(np.mean(self.totals))
+
+    @property
+    def sd_total(self) -> float:
+        """Across-repetition standard deviation."""
+        return float(np.std(self.totals))
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half width of the normal-approximation 95 % CI of the mean."""
+        n = len(self.totals)
+        if n < 2:
+            return 0.0
+        return 1.96 * float(np.std(self.totals, ddof=1)) / math.sqrt(n)
+
+
+def summarize(
+    name: str, group: str, totals: Sequence[float], baseline_mean: float
+) -> StrategySummary:
+    """Build a :class:`StrategySummary` with its gain vs the baseline."""
+    totals = np.asarray(totals, dtype=float)
+    return StrategySummary(
+        name=name,
+        group=group,
+        totals=totals,
+        gain_pct=gain_percent(baseline_mean, float(np.mean(totals))),
+    )

@@ -1,0 +1,140 @@
+"""Resampling evaluation of strategies over measurement banks.
+
+The paper's Figure 6 protocol: every strategy runs for 127 iterations,
+drawing iteration durations from the precomputed bank ("resampled in R
+every time an action was chosen"), repeated 30 times; the mean total time
+is compared to the all-nodes baseline and to the clairvoyant best
+configuration.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import config
+from ..measure.bank import MeasurementBank
+from ..strategies import (
+    STRATEGY_GROUPS,
+    STRATEGY_ORDER,
+    AllNodesStrategy,
+    OracleStrategy,
+    make_strategy,
+)
+from .metrics import StrategySummary, summarize
+
+
+def run_strategy_once(
+    strategy, bank: MeasurementBank, iterations: int, rng: np.random.Generator
+) -> float:
+    """One run: total time over ``iterations`` resampled iterations."""
+    total = 0.0
+    for _ in range(iterations):
+        n = strategy.propose()
+        y = bank.resample(n, rng)
+        strategy.observe(n, y)
+        total += y
+    return total
+
+
+def run_strategy(
+    name: str,
+    bank: MeasurementBank,
+    iterations: int = config.EVAL_ITERATIONS,
+    reps: int = config.EVAL_REPETITIONS,
+    base_seed: int = 0,
+) -> np.ndarray:
+    """Totals of ``reps`` independent runs of a named strategy."""
+    space = bank.action_space()
+    totals = []
+    for rep in range(reps):
+        rng = np.random.default_rng((base_seed, rep, zlib.crc32(name.encode())))
+        strategy = make_strategy(name, space, seed=rep + base_seed)
+        totals.append(run_strategy_once(strategy, bank, iterations, rng))
+    return np.asarray(totals)
+
+
+def _baseline_totals(
+    strategy_cls, bank: MeasurementBank, iterations: int, reps: int,
+    base_seed: int, **kwargs,
+) -> np.ndarray:
+    space = bank.action_space()
+    totals = []
+    for rep in range(reps):
+        rng = np.random.default_rng((base_seed, rep, 0xBA5E))
+        strategy = strategy_cls(space, seed=rep, **kwargs)
+        totals.append(run_strategy_once(strategy, bank, iterations, rng))
+    return np.asarray(totals)
+
+
+@dataclass
+class ScenarioEvaluation:
+    """Figure 6 panel for one scenario."""
+
+    label: str
+    all_nodes_mean: float        # top dashed line
+    oracle_mean: float           # bottom dashed line
+    best_action: int
+    summaries: List[StrategySummary] = field(default_factory=list)
+
+    def summary(self, name: str) -> StrategySummary:
+        """Summary of one strategy by name."""
+        for s in self.summaries:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def best_strategy(self) -> StrategySummary:
+        """Summary with the lowest mean total."""
+        return min(self.summaries, key=lambda s: s.mean_total)
+
+
+def evaluate_scenario(
+    bank: MeasurementBank,
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    iterations: int = config.EVAL_ITERATIONS,
+    reps: int = config.EVAL_REPETITIONS,
+    base_seed: int = 0,
+) -> ScenarioEvaluation:
+    """Run every strategy on one bank (one Figure 6 panel)."""
+    all_nodes = _baseline_totals(
+        AllNodesStrategy, bank, iterations, reps, base_seed
+    )
+    best = bank.best_action()
+    oracle = _baseline_totals(
+        OracleStrategy, bank, iterations, reps, base_seed, best_action=best
+    )
+    evaluation = ScenarioEvaluation(
+        label=bank.label,
+        all_nodes_mean=float(np.mean(all_nodes)),
+        oracle_mean=float(np.mean(oracle)),
+        best_action=best,
+    )
+    for name in strategies:
+        totals = run_strategy(name, bank, iterations, reps, base_seed)
+        evaluation.summaries.append(
+            summarize(name, STRATEGY_GROUPS.get(name, "?"), totals,
+                      evaluation.all_nodes_mean)
+        )
+    return evaluation
+
+
+def evaluate_scenarios(
+    banks: Dict[str, MeasurementBank],
+    strategies: Sequence[str] = STRATEGY_ORDER,
+    iterations: int = config.EVAL_ITERATIONS,
+    reps: int = config.EVAL_REPETITIONS,
+    progress: bool = False,
+) -> Dict[str, ScenarioEvaluation]:
+    """Figure 6: every strategy on every scenario bank."""
+    out: Dict[str, ScenarioEvaluation] = {}
+    for key in sorted(banks):
+        if progress:
+            import sys
+
+            print(f"  evaluating scenario ({key})...", file=sys.stderr)
+        out[key] = evaluate_scenario(banks[key], strategies, iterations, reps)
+    return out

@@ -1,0 +1,127 @@
+"""Prediction of missing observations -- ExaGeoStat's end purpose.
+
+"ExaGeoStat [...] allows the prediction of missing observations"
+(Section II).  Given observed data and fitted Matern parameters, the
+best linear unbiased predictor at unobserved locations is the simple
+kriging mean
+
+    z_hat = Sigma_mo Sigma_oo^-1 z_o
+
+with conditional variance ``Sigma_mm - Sigma_mo Sigma_oo^-1 Sigma_om``.
+The solves go through the same tiled Cholesky pipeline the likelihood
+uses, so this module closes the full application loop: generate -> fit
+theta (likelihood iterations, adaptively scheduled) -> predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from ..linalg import TileStore, numeric_cholesky, numeric_solve
+from .covariance import MaternParams, covariance_matrix, matern_correlation
+from .likelihood import tile_size_for
+from .spatial import SpatialData
+
+
+@dataclass(frozen=True)
+class PredictionResult:
+    """Kriging predictions at missing locations."""
+
+    mean: np.ndarray
+    sd: np.ndarray
+
+    def mspe(self, truth: np.ndarray) -> float:
+        """Mean squared prediction error against known truth."""
+        truth = np.asarray(truth, dtype=float)
+        if truth.shape != self.mean.shape:
+            raise ValueError("truth shape mismatch")
+        return float(np.mean((self.mean - truth) ** 2))
+
+
+def cross_covariance(
+    locations_a: np.ndarray, locations_b: np.ndarray, params: MaternParams
+) -> np.ndarray:
+    """Sigma_ab between two location sets (no nugget off the diagonal)."""
+    d = cdist(locations_a, locations_b)
+    return params.variance * matern_correlation(d, params.range_, params.smoothness)
+
+
+def predict_missing(
+    data: SpatialData,
+    missing_locations: np.ndarray,
+    params: MaternParams,
+    nb: int | None = None,
+) -> PredictionResult:
+    """Simple-kriging prediction at ``missing_locations``.
+
+    The ``Sigma_oo^-1`` applications run through the tiled Cholesky +
+    forward/backward solves (real numerics, validated against the dense
+    oracle in tests).
+    """
+    missing_locations = np.atleast_2d(np.asarray(missing_locations, dtype=float))
+    if missing_locations.shape[1] != 2:
+        raise ValueError("missing_locations must have shape (m, 2)")
+
+    n = data.n
+    if nb is None:
+        nb = tile_size_for(n, 8)
+    if n % nb:
+        raise ValueError(f"tile size {nb} does not divide n={n}")
+
+    sigma_oo = covariance_matrix(data.locations, params)
+    factor = numeric_cholesky(TileStore.from_matrix(sigma_oo, nb))
+
+    # w = Sigma_oo^-1 z  via L L^T w = z (forward then backward solve).
+    u = numeric_solve(factor, data.observations)
+    l_dense = factor.to_lower_matrix()
+    w = np.linalg.solve(l_dense.T, u)  # backward substitution
+
+    sigma_mo = cross_covariance(missing_locations, data.locations, params)
+    mean = sigma_mo @ w
+
+    # Conditional variance: sigma2 + nugget - q' q with L q = Sigma_om.
+    q = np.linalg.solve(l_dense, sigma_mo.T)
+    var = params.variance + params.nugget - np.einsum("ij,ij->j", q, q)
+    return PredictionResult(mean=mean, sd=np.sqrt(np.maximum(var, 0.0)))
+
+
+def holdout_experiment(
+    n_total: int,
+    n_missing: int,
+    params: MaternParams,
+    seed: int = 0,
+) -> dict:
+    """Generate data, hold out points, predict them back (self-check).
+
+    Returns the MSPE of the kriging predictor and of the trivial
+    mean-zero predictor; kriging should be markedly better whenever the
+    field is correlated.
+    """
+    from .covariance import make_covariance
+    from .spatial import synthetic_dataset
+
+    if not 0 < n_missing < n_total:
+        raise ValueError("need 0 < n_missing < n_total")
+    full = synthetic_dataset(n_total, make_covariance(params), seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    missing_idx = rng.choice(n_total, size=n_missing, replace=False)
+    observed_idx = np.setdiff1d(np.arange(n_total), missing_idx)
+
+    observed = SpatialData(
+        locations=full.locations[observed_idx],
+        observations=full.observations[observed_idx],
+    )
+    result = predict_missing(
+        observed, full.locations[missing_idx], params, nb=1
+    )
+    truth = full.observations[missing_idx]
+    return {
+        "mspe_kriging": result.mspe(truth),
+        "mspe_trivial": float(np.mean(truth**2)),
+        "coverage95": float(
+            np.mean(np.abs(truth - result.mean) <= 1.96 * result.sd)
+        ),
+    }

@@ -1,0 +1,31 @@
+"""Gaussian-Process surrogate modelling (DiceKriging-like, from scratch)."""
+
+from .acquisition import expected_improvement, probability_of_improvement
+from .kernels import Exponential, Gaussian, Kernel, Matern52
+from .noise import estimate_noise_variance, group_observations
+from .regression import GaussianProcess, GPFit
+from .trend import (
+    ConstantTrend,
+    GroupDummyTrend,
+    Linear2DTrend,
+    LinearTrend,
+    TrendBasis,
+)
+
+__all__ = [
+    "ConstantTrend",
+    "Exponential",
+    "GPFit",
+    "Gaussian",
+    "GaussianProcess",
+    "GroupDummyTrend",
+    "Kernel",
+    "Linear2DTrend",
+    "LinearTrend",
+    "Matern52",
+    "TrendBasis",
+    "estimate_noise_variance",
+    "expected_improvement",
+    "probability_of_improvement",
+    "group_observations",
+]

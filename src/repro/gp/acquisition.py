@@ -1,0 +1,54 @@
+"""Acquisition functions for GP-based optimization.
+
+The paper's strategies use the (L)CB rule of GP-UCB (Eq. 2).  Standard
+Bayesian optimization more commonly uses **Expected Improvement**; we
+provide it both as a documented baseline (the "standard Bayesian
+optimization approaches" of Section IV-D) and for the GP-EI strategy
+variant used in the ablation studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(
+    mean: np.ndarray, sd: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """EI for *minimization*: expected amount by which each candidate
+    improves on the incumbent ``best``.
+
+    ``EI(x) = (best - mu - xi) Phi(z) + s phi(z)`` with
+    ``z = (best - mu - xi) / s``; zero where ``s = 0``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    sd = np.asarray(sd, dtype=float)
+    if mean.shape != sd.shape:
+        raise ValueError("mean and sd must have the same shape")
+    if np.any(sd < 0):
+        raise ValueError("sd must be non-negative")
+    improve = best - mean - xi
+    out = np.zeros_like(mean)
+    pos = sd > 1e-15
+    z = improve[pos] / sd[pos]
+    out[pos] = improve[pos] * norm.cdf(z) + sd[pos] * norm.pdf(z)
+    # Deterministic candidates: improvement is certain or impossible.
+    out[~pos] = np.maximum(improve[~pos], 0.0)
+    return np.maximum(out, 0.0)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, sd: np.ndarray, best: float, xi: float = 0.0
+) -> np.ndarray:
+    """PI for minimization: ``P(f(x) < best - xi)``."""
+    mean = np.asarray(mean, dtype=float)
+    sd = np.asarray(sd, dtype=float)
+    if mean.shape != sd.shape:
+        raise ValueError("mean and sd must have the same shape")
+    improve = best - mean - xi
+    out = np.where(improve > 0, 1.0, 0.0)
+    pos = sd > 1e-15
+    out = out.astype(float)
+    out[pos] = norm.cdf(improve[pos] / sd[pos])
+    return out

@@ -1,0 +1,64 @@
+"""Observation-noise estimation from replicated measurements.
+
+The paper estimates sigma_N from repeated observations of the same action
+(Section IV-D): with ``S = {x in D | n(x) > 1}``,
+
+    sigma_N^2 = ( sum_{x in S} sum_{y(x)} (y(x) - ybar(x))^2 )
+                / ( sum_{x in S} n(x) - 1 )
+
+Measuring the same location several times provides direct information
+about the noise, which is why the GP initialization replicates the middle
+point (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+
+def group_observations(
+    xs: Sequence, ys: Sequence[float]
+) -> Dict[object, List[float]]:
+    """Group observed values by their action.
+
+    Actions may be numbers (1-D node counts) or any hashable key (e.g.
+    ``"g,f"`` strings for the 2-D extension); numeric actions are
+    canonicalized to float so ``5`` and ``5.0`` pool together.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    grouped: Dict[object, List[float]] = defaultdict(list)
+    for x, y in zip(xs, ys):
+        try:
+            key = float(x)
+        except (TypeError, ValueError):
+            key = x
+        grouped[key].append(float(y))
+    return dict(grouped)
+
+
+def estimate_noise_variance(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    fallback: float = 1e-4,
+) -> float:
+    """Paper's replicate-based estimator of sigma_N^2.
+
+    Returns ``fallback`` when no action has been measured twice yet (the
+    estimator is undefined before the first replicate).
+    """
+    grouped = group_observations(xs, ys)
+    replicated = {x: v for x, v in grouped.items() if len(v) > 1}
+    if not replicated:
+        return fallback
+    sq_sum = 0.0
+    count = 0
+    for values in replicated.values():
+        mean = sum(values) / len(values)
+        sq_sum += sum((v - mean) ** 2 for v in values)
+        count += len(values)
+    denom = count - 1
+    if denom <= 0 or sq_sum <= 0.0:
+        return fallback
+    return sq_sum / denom

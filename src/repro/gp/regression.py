@@ -1,0 +1,241 @@
+"""Universal kriging: Gaussian-Process regression with trend.
+
+Reimplements the subset of DiceKriging the paper uses: a GP prior
+``f ~ GP(mu, alpha * R_theta)`` with trend ``mu(x) = F(x) gamma``,
+observed through ``y = f(x) + eps``, ``eps ~ N(0, sigma_N^2)``.
+
+Given observations ``(X, y)``:
+
+* ``gamma_hat = (F' K^-1 F)^-1 F' K^-1 y``       (generalized least squares)
+* ``mu(x*)   = f*' gamma_hat + k*' K^-1 (y - F gamma_hat)``
+* ``s^2(x*)  = alpha - k*' K^-1 k* + u*' (F' K^-1 F)^-1 u*``,
+  ``u* = f* - F' K^-1 k*``
+
+with ``K = alpha R + sigma_N^2 I`` and ``k* = alpha R(X, x*)``.  The last
+variance term accounts for trend-coefficient uncertainty (universal
+kriging).  Hyper-parameters (alpha, theta) can be fixed (the paper's
+GP-discontinuous sets theta = 1 and alpha to the sample variance to avoid
+early overconfidence) or estimated by profile maximum likelihood (the
+GP-UCB default, "estimated from the data with an ML approach").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.optimize import minimize
+
+from .kernels import Exponential, Kernel
+from .trend import ConstantTrend, TrendBasis
+
+_JITTER = 1e-10
+
+
+@dataclass
+class GPFit:
+    """Frozen state of a fitted GP (used by predict)."""
+
+    x: np.ndarray
+    y: np.ndarray
+    alpha: float
+    theta: float
+    noise_var: float
+    gamma: np.ndarray
+    kernel: Kernel
+    trend: TrendBasis
+    _cho: Tuple
+    _resid_weights: np.ndarray      # K^-1 (y - F gamma)
+    _fkf_inv: np.ndarray            # (F' K^-1 F)^-1
+    _kinv_f: np.ndarray             # K^-1 F
+
+
+class GaussianProcess:
+    """Universal-kriging GP regression.
+
+    Parameters
+    ----------
+    kernel:
+        Correlation kernel; its ``theta`` is the initial/fixed length.
+    trend:
+        Trend basis (constant by default, as in plain GP-UCB).
+    alpha:
+        Process variance.  ``None`` estimates it (by MLE when
+        ``optimize``, else the sample variance).
+    noise_var:
+        Observation-noise variance sigma_N^2.  ``None`` keeps a small
+        default; callers usually pass the replicate-based estimate.
+    optimize:
+        When true, (alpha, theta) are fitted by profile maximum
+        likelihood; when false they stay at their configured values.
+    theta_bounds:
+        Box constraints for theta during MLE.
+    theta_starts:
+        Optional MLE start values for theta.  A single warm start (e.g.
+        the previous fit's theta) makes repeated refits much cheaper;
+        defaults to a small multi-start over the data span.
+    """
+
+    def __init__(
+        self,
+        kernel: Optional[Kernel] = None,
+        trend: Optional[TrendBasis] = None,
+        alpha: Optional[float] = None,
+        noise_var: Optional[float] = None,
+        optimize: bool = True,
+        theta_bounds: Tuple[float, float] = (1e-2, 1e3),
+        theta_starts: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else Exponential(theta=1.0)
+        self.trend = trend if trend is not None else ConstantTrend()
+        self.alpha = alpha
+        self.noise_var = noise_var
+        self.optimize = optimize
+        self.theta_bounds = theta_bounds
+        self.theta_starts = theta_starts
+        self.fit_: Optional[GPFit] = None
+
+    # -- fitting ---------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit the GP to coordinates ``x`` ((n,) or (n, d)) and values ``y``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim not in (1, 2):
+            raise ValueError("x must be 1-D or 2-D")
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ValueError("x and y must have equal length")
+        if x.shape[0] < self.trend.n_functions:
+            raise ValueError(
+                f"need at least {self.trend.n_functions} observations for "
+                f"this trend (got {x.shape[0]})"
+            )
+
+        noise = self.noise_var if self.noise_var is not None else 1e-6
+        y_var = float(np.var(y))
+
+        if self.optimize:
+            alpha, theta = self._mle(x, y, noise, y_var)
+        else:
+            alpha = self.alpha if self.alpha is not None else max(y_var, 1e-12)
+            theta = self.kernel.theta
+
+        self.fit_ = self._assemble(x, y, alpha, theta, noise)
+        return self
+
+    def _assemble(
+        self, x: np.ndarray, y: np.ndarray, alpha: float, theta: float, noise: float
+    ) -> GPFit:
+        kernel = self.kernel.with_theta(theta)
+        n = x.shape[0]
+        k = alpha * kernel(x, x) + (noise + _JITTER * max(alpha, 1.0)) * np.eye(n)
+        cho = cho_factor(k, lower=True)
+        f = self.trend.design_matrix(x)
+        kinv_f = cho_solve(cho, f)
+        fkf = f.T @ kinv_f
+        fkf_inv = np.linalg.inv(fkf + _JITTER * np.eye(f.shape[1]))
+        gamma = fkf_inv @ (kinv_f.T @ y)
+        resid = y - f @ gamma
+        resid_weights = cho_solve(cho, resid)
+        return GPFit(
+            x=x, y=y, alpha=alpha, theta=theta, noise_var=noise,
+            gamma=gamma, kernel=kernel, trend=self.trend,
+            _cho=cho, _resid_weights=resid_weights,
+            _fkf_inv=fkf_inv, _kinv_f=kinv_f,
+        )
+
+    def _nll(self, x, y, f, alpha, theta, noise) -> float:
+        """Negative log marginal likelihood with GLS-profiled trend."""
+        n = x.shape[0]
+        kernel = self.kernel.with_theta(theta)
+        k = alpha * kernel(x, x) + (noise + _JITTER * max(alpha, 1.0)) * np.eye(n)
+        try:
+            cho = cho_factor(k, lower=True)
+        except np.linalg.LinAlgError:
+            return 1e12
+        kinv_f = cho_solve(cho, f)
+        fkf = f.T @ kinv_f
+        try:
+            gamma = np.linalg.solve(fkf + _JITTER * np.eye(f.shape[1]), kinv_f.T @ y)
+        except np.linalg.LinAlgError:
+            return 1e12
+        resid = y - f @ gamma
+        quad = float(resid @ cho_solve(cho, resid))
+        logdet = 2.0 * float(np.sum(np.log(np.diag(cho[0]))))
+        return 0.5 * (quad + logdet + n * np.log(2.0 * np.pi))
+
+    def _mle(self, x, y, noise, y_var) -> Tuple[float, float]:
+        """Profile MLE over (log alpha, log theta), multi-start."""
+        f = self.trend.design_matrix(x)
+        if x.ndim == 1:
+            span = max(float(x.max() - x.min()), 1.0)
+        else:
+            span = max(float((x.max(axis=0) - x.min(axis=0)).max()), 1.0)
+        alpha0 = max(y_var, 1e-8)
+        lo, hi = self.theta_bounds
+
+        def objective(params):
+            alpha, theta = np.exp(params)
+            return self._nll(x, y, f, alpha, theta, noise)
+
+        starts = self.theta_starts or (span / 4.0, span, self.kernel.theta)
+        best = None
+        for theta0 in starts:
+            theta0 = float(np.clip(theta0, lo, hi))
+            res = minimize(
+                objective,
+                x0=np.log([alpha0, theta0]),
+                method="L-BFGS-B",
+                bounds=[(np.log(1e-10), np.log(1e12)),
+                        (np.log(lo), np.log(hi))],
+            )
+            if best is None or res.fun < best.fun:
+                best = res
+        alpha, theta = np.exp(best.x)
+        return float(alpha), float(theta)
+
+    # -- prediction -------------------------------------------------------------
+
+    def predict(
+        self, x_star: np.ndarray, include_noise: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Predictive mean and standard deviation at ``x_star``.
+
+        ``include_noise`` adds sigma_N^2 to the variance (prediction of an
+        *observation* rather than the latent function).
+        """
+        if self.fit_ is None:
+            raise RuntimeError("fit() must be called before predict()")
+        ft = self.fit_
+        x_star = np.asarray(x_star, dtype=float)
+        if ft.x.ndim == 2:
+            x_star = np.atleast_2d(x_star)
+        else:
+            x_star = x_star.reshape(-1)
+
+        k_star = ft.alpha * ft.kernel(ft.x, x_star)          # (n, m)
+        f_star = ft.trend.design_matrix(x_star)              # (m, p)
+        mean = f_star @ ft.gamma + k_star.T @ ft._resid_weights
+
+        kinv_kstar = cho_solve(ft._cho, k_star)              # (n, m)
+        var = ft.alpha - np.einsum("ij,ij->j", k_star, kinv_kstar)
+        u = f_star.T - ft._kinv_f.T @ k_star                 # (p, m)
+        var = var + np.einsum("pm,pq,qm->m", u, ft._fkf_inv, u)
+        if include_noise:
+            var = var + ft.noise_var
+        var = np.maximum(var, 0.0)
+        return mean, np.sqrt(var)
+
+    # -- acquisition -------------------------------------------------------------
+
+    def lower_confidence_bound(
+        self, x_star: np.ndarray, beta: float
+    ) -> np.ndarray:
+        """``mu(x) - sqrt(beta) * s(x)``: the GP-UCB acquisition for
+        *minimization* (the paper's Eq. 2 written for durations)."""
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        mean, sd = self.predict(x_star)
+        return mean - np.sqrt(beta) * sd

@@ -1,0 +1,134 @@
+"""Trend (mean-function) bases for universal kriging.
+
+The paper improves over the zero-trend GP-UCB in two steps (Section IV-D):
+
+* a **linear trend** over the LP-residual, capturing the "+x"
+  communication-overhead component (the 1/x component is already captured
+  by the LP baseline);
+* **dummy variables** per homogeneous machine group, modelling the
+  discontinuities that appear when a new group of machines starts being
+  used.
+
+A trend basis maps node counts ``x`` to a design matrix ``F`` with one
+column per basis function g_i; the GP mean is ``mu(x) = sum_i gamma_i
+g_i(x)`` with the ``gamma_i`` estimated by generalized least squares
+inside the kriging equations.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+class TrendBasis:
+    """Base class: build the design matrix for coordinates ``x``."""
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Design matrix ``F`` (one column per basis function)."""
+        raise NotImplementedError
+
+    @property
+    def n_functions(self) -> int:
+        """Number of basis functions (columns of F)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantTrend(TrendBasis):
+    """Intercept only: the standard (ordinary kriging) choice.
+
+    Works for 1-D coordinates ``(n,)`` and N-D coordinates ``(n, d)``.
+    """
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Column of ones."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        return np.ones((x.shape[0], 1))
+
+    @property
+    def n_functions(self) -> int:
+        """One basis function (the intercept)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class LinearTrend(TrendBasis):
+    """Intercept + slope: models the linear overhead of adding nodes."""
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Columns ``[1, x]``."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        return np.column_stack([np.ones_like(x), x])
+
+    @property
+    def n_functions(self) -> int:
+        """Two basis functions: intercept and slope."""
+        return 2
+
+
+@dataclass(frozen=True)
+class Linear2DTrend(TrendBasis):
+    """Intercept + one slope per coordinate of 2-D inputs ``(n, 2)``.
+
+    Supports the paper's future-work extension: modelling both the
+    generation and the factorization node counts.
+    """
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Columns ``[1, x1, x2]`` over 2-D coordinates."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[1] != 2:
+            raise ValueError("Linear2DTrend expects inputs of shape (n, 2)")
+        return np.column_stack([np.ones(x.shape[0]), x[:, 0], x[:, 1]])
+
+    @property
+    def n_functions(self) -> int:
+        """Three basis functions: intercept and two slopes."""
+        return 3
+
+
+@dataclass(frozen=True)
+class GroupDummyTrend(TrendBasis):
+    """Linear trend + one dummy variable per machine group after the first.
+
+    ``boundaries`` are the node counts at which each homogeneous group is
+    fully included (:attr:`repro.platform.Cluster.group_boundaries`); node
+    count ``x`` belongs to group ``g`` when
+    ``boundaries[g-1] < x <= boundaries[g]``.  The dummy for group ``g``
+    (g >= 1) is 1 when x falls in group g or later -- a step at each group
+    transition, which lets the GP model the paper's discontinuities
+    ("x + sum_g d_g(x)", Section IV-D).
+    """
+
+    boundaries: Sequence[int]
+
+    def __post_init__(self) -> None:
+        b = list(self.boundaries)
+        if not b or any(x <= 0 for x in b) or b != sorted(b):
+            raise ValueError("boundaries must be positive and increasing")
+
+    def group_of(self, x: float) -> int:
+        """Group index of node count x (counts above the last boundary are
+        clamped to the last group)."""
+        b = list(self.boundaries)
+        g = bisect.bisect_left(b, x)
+        return min(g, len(b) - 1)
+
+    def design_matrix(self, x: np.ndarray) -> np.ndarray:
+        """Columns ``[1, x, d_1(x), ..., d_{G-1}(x)]``."""
+        x = np.asarray(x, dtype=float).reshape(-1)
+        n_groups = len(self.boundaries)
+        cols = [np.ones_like(x), x]
+        groups = np.array([self.group_of(v) for v in x])
+        for g in range(1, n_groups):
+            cols.append((groups >= g).astype(float))
+        return np.column_stack(cols)
+
+    @property
+    def n_functions(self) -> int:
+        """Intercept + slope + one dummy per group after the first."""
+        return 2 + max(0, len(self.boundaries) - 1)

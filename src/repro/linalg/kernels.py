@@ -1,0 +1,115 @@
+"""Tile kernels: flop counts and numerically-real numpy implementations.
+
+The flop counts drive the simulator's performance models and the LP lower
+bound; the numpy implementations drive the small-scale *numeric* execution
+path used to validate the whole multi-phase pipeline end-to-end (tile
+Cholesky results are checked against ``numpy.linalg.cholesky``).
+
+All kernels follow the Chameleon/LAPACK lower-triangular convention used
+by ExaGeoStat's Cholesky (``A = L L^T``, lower tiles stored).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+# -- flop counts ------------------------------------------------------------------
+
+
+def potrf_flops(nb: int) -> float:
+    """Cholesky of an nb x nb tile: nb^3/3 flops (leading order)."""
+    return nb**3 / 3.0
+
+
+def trsm_flops(nb: int) -> float:
+    """Triangular solve of an nb x nb tile against an nb x nb tile."""
+    return float(nb**3)
+
+
+def syrk_flops(nb: int) -> float:
+    """Symmetric rank-nb update of an nb x nb tile."""
+    return float(nb**2 * (nb + 1))
+
+
+def gemm_flops(nb: int) -> float:
+    """General nb x nb x nb multiply-accumulate."""
+    return 2.0 * nb**3
+
+
+def trsv_flops(nb: int) -> float:
+    """Triangular solve of an nb vector block."""
+    return float(nb**2)
+
+
+def gemv_flops(nb: int) -> float:
+    """Matrix-vector update with an nb x nb tile."""
+    return 2.0 * nb**2
+
+
+def cholesky_total_flops(t: int, nb: int) -> float:
+    """Total flops of a t x t tile Cholesky with nb x nb tiles.
+
+    Sums the per-kernel counts; asymptotically (t*nb)^3 / 3.
+    """
+    n_trsm = t * (t - 1) / 2
+    n_syrk = t * (t - 1) / 2
+    n_gemm = t * (t - 1) * (t - 2) / 6
+    return (
+        t * potrf_flops(nb)
+        + n_trsm * trsm_flops(nb)
+        + n_syrk * syrk_flops(nb)
+        + n_gemm * gemm_flops(nb)
+    )
+
+
+def cholesky_task_counts(t: int) -> dict:
+    """Number of tasks of each kernel type in a t x t tile Cholesky."""
+    return {
+        "potrf": t,
+        "trsm": t * (t - 1) // 2,
+        "syrk": t * (t - 1) // 2,
+        "gemm": t * (t - 1) * (t - 2) // 6,
+    }
+
+
+# -- numeric kernels ----------------------------------------------------------------
+
+
+def potrf(a: np.ndarray) -> np.ndarray:
+    """In-place-style Cholesky of a diagonal tile; returns lower factor."""
+    return np.linalg.cholesky(a)
+
+
+def trsm(l_kk: np.ndarray, a_ik: np.ndarray) -> np.ndarray:
+    """Solve ``X L_kk^T = A_ik`` for the panel tile below the diagonal."""
+    # X = A_ik * L_kk^{-T}  <=>  L_kk X^T = A_ik^T.
+    return solve_triangular(l_kk, a_ik.T, lower=True).T
+
+
+def syrk(a_ii: np.ndarray, l_ik: np.ndarray) -> np.ndarray:
+    """Update ``A_ii := A_ii - L_ik L_ik^T``."""
+    return a_ii - l_ik @ l_ik.T
+
+
+def gemm(a_ij: np.ndarray, l_ik: np.ndarray, l_jk: np.ndarray) -> np.ndarray:
+    """Update ``A_ij := A_ij - L_ik L_jk^T``."""
+    return a_ij - l_ik @ l_jk.T
+
+
+def trsv(l_kk: np.ndarray, b_k: np.ndarray) -> np.ndarray:
+    """Solve ``L_kk y = b_k`` for a vector block."""
+    return solve_triangular(l_kk, b_k, lower=True)
+
+
+def gemv_update(b_i: np.ndarray, l_ik: np.ndarray, y_k: np.ndarray) -> np.ndarray:
+    """Update ``b_i := b_i - L_ik y_k``."""
+    return b_i - l_ik @ y_k
+
+
+def log_det_from_tile(l_kk: np.ndarray) -> float:
+    """Contribution of a diagonal Cholesky tile to ``log det(Sigma)``.
+
+    ``log det(Sigma) = 2 * sum_k sum(log(diag(L_kk)))``.
+    """
+    return 2.0 * float(np.sum(np.log(np.diag(l_kk))))

@@ -1,0 +1,122 @@
+"""Post-factorization phases: solve, determinant, dot product.
+
+These are ExaGeoStat's phases (iii)-(v): a forward triangular solve of
+``L z = y``, the log-determinant from the Cholesky diagonal, and the dot
+product ``z . z`` -- together they complete the Gaussian log-likelihood.
+They contribute few tasks ("a small number of tasks in gray", Figure 1)
+but are part of the pipeline and are implemented both as task submissions
+and numerically.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..runtime.dag import TaskGraph
+from ..runtime.data import DataHandle, DataRegistry
+from ..runtime.task import Placement, Task
+from . import kernels
+from .tiles import TileGrid, TileStore
+
+
+def register_vector(
+    registry: DataRegistry, tiles: TileGrid, name: str, owner_of_block
+) -> List[DataHandle]:
+    """Register the t blocks of a length-(t*nb) vector."""
+    return [
+        registry.register(f"{name}[{k}]", 8.0 * tiles.nb, home=owner_of_block(k))
+        for k in range(tiles.t)
+    ]
+
+
+def submit_solve(
+    graph: TaskGraph,
+    tiles: TileGrid,
+    rhs: List[DataHandle],
+    phase: str = "solve",
+) -> List[Task]:
+    """Forward solve ``L z = y`` over vector blocks (in place in ``rhs``)."""
+    t, nb = tiles.t, tiles.nb
+    tasks: List[Task] = []
+    for k in range(t):
+        tasks.append(
+            graph.submit(
+                "solve_trsm", phase, kernels.trsv_flops(nb),
+                reads=[tiles.handle(k, k), rhs[k]], writes=[rhs[k]],
+                priority=2, tag=(k,),
+            )
+        )
+        for i in range(k + 1, t):
+            tasks.append(
+                graph.submit(
+                    "gemv", phase, kernels.gemv_flops(nb),
+                    reads=[tiles.handle(i, k), rhs[k], rhs[i]], writes=[rhs[i]],
+                    priority=1, tag=(i, k),
+                )
+            )
+    return tasks
+
+
+def submit_determinant(
+    graph: TaskGraph,
+    tiles: TileGrid,
+    scratch: DataHandle,
+    phase: str = "determinant",
+) -> List[Task]:
+    """Log-determinant reduction over the diagonal Cholesky tiles."""
+    nb = tiles.nb
+    tasks = [
+        graph.submit(
+            "det", phase, float(nb),
+            reads=[tiles.handle(k, k), scratch], writes=[scratch],
+            placement=Placement.CPU_ONLY, tag=(k,),
+        )
+        for k in range(tiles.t)
+    ]
+    return tasks
+
+
+def submit_dot(
+    graph: TaskGraph,
+    rhs: List[DataHandle],
+    nb: int,
+    scratch: DataHandle,
+    phase: str = "dot",
+) -> List[Task]:
+    """Dot-product reduction ``z . z`` over solved vector blocks."""
+    return [
+        graph.submit(
+            "dot", phase, 2.0 * nb,
+            reads=[z, scratch], writes=[scratch],
+            placement=Placement.CPU_ONLY, tag=(k,),
+        )
+        for k, z in enumerate(rhs)
+    ]
+
+
+# -- numeric versions -----------------------------------------------------------------
+
+
+def numeric_solve(factor: TileStore, y: np.ndarray) -> np.ndarray:
+    """Forward solve ``L z = y`` using the factor tiles."""
+    t, nb = factor.t, factor.nb
+    if y.shape != (t * nb,):
+        raise ValueError(f"rhs must have shape ({t * nb},)")
+    z = [y[k * nb : (k + 1) * nb].copy() for k in range(t)]
+    for k in range(t):
+        z[k] = kernels.trsv(factor[(k, k)], z[k])
+        for i in range(k + 1, t):
+            z[i] = kernels.gemv_update(z[i], factor[(i, k)], z[k])
+    return np.concatenate(z)
+
+
+def numeric_log_det(factor: TileStore) -> float:
+    """``log det(Sigma)`` from the Cholesky diagonal tiles."""
+    return sum(kernels.log_det_from_tile(factor[(k, k)]) for k in range(factor.t))
+
+
+def numeric_dot(z: np.ndarray) -> float:
+    """Dot product ``z . z``."""
+    return float(z @ z)

@@ -1,0 +1,173 @@
+"""Tiled symmetric matrix layout.
+
+A :class:`TileGrid` describes the lower-triangular tile structure of the
+symmetric covariance matrix Sigma: ``t x t`` tiles of ``nb x nb`` doubles,
+with only tiles ``(i, j), i >= j`` stored.  It registers one runtime data
+handle per tile, homed according to a data distribution (a callable
+``(i, j) -> node``), and can re-home all tiles for a new phase
+(:meth:`redistribute`), which is the paper's transparent StarPU data
+redistribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.data import DataHandle, DataRegistry
+
+#: A data distribution: maps a lower tile coordinate to a node index.
+TileDistribution = Callable[[int, int], int]
+
+
+class TileGrid:
+    """Lower-triangular tile grid of a symmetric matrix.
+
+    Parameters
+    ----------
+    t:
+        Tile count per dimension.
+    nb:
+        Tile order (elements per dimension); tile payload is ``8 * nb**2``
+        bytes.
+    """
+
+    def __init__(self, t: int, nb: int) -> None:
+        if t < 1 or nb < 1:
+            raise ValueError("t and nb must be >= 1")
+        self.t = t
+        self.nb = nb
+        self.handles: Dict[Tuple[int, int], DataHandle] = {}
+
+    @property
+    def matrix_order(self) -> int:
+        """Order of the full matrix (t * nb)."""
+        return self.t * self.nb
+
+    @property
+    def tile_bytes(self) -> float:
+        """Payload bytes of one (double precision) tile."""
+        return 8.0 * self.nb**2
+
+    @property
+    def matrix_bytes(self) -> float:
+        """Bytes of the stored (lower triangular, by tile) matrix."""
+        return self.tile_bytes * self.tile_count
+
+    @property
+    def tile_count(self) -> int:
+        """Number of stored lower tiles."""
+        return self.t * (self.t + 1) // 2
+
+    def lower_tiles(self) -> Iterator[Tuple[int, int]]:
+        """All stored tile coordinates, column-major (panel order)."""
+        for j in range(self.t):
+            for i in range(j, self.t):
+                yield (i, j)
+
+    def register(
+        self,
+        registry: DataRegistry,
+        distribution: TileDistribution,
+        tile_bytes_of: Optional[Callable[[int, int], float]] = None,
+    ) -> None:
+        """Register every lower tile, homed per ``distribution``.
+
+        ``tile_bytes_of`` overrides the per-tile payload size (used by
+        mixed-precision storage, where off-band tiles are float32).
+        """
+        if self.handles:
+            raise RuntimeError("tiles already registered")
+        for i, j in self.lower_tiles():
+            nbytes = (
+                tile_bytes_of(i, j) if tile_bytes_of is not None else self.tile_bytes
+            )
+            self.handles[(i, j)] = registry.register(
+                name=f"A[{i},{j}]",
+                nbytes=nbytes,
+                home=distribution(i, j),
+            )
+
+    def redistribute(
+        self, registry: DataRegistry, distribution: TileDistribution
+    ) -> int:
+        """Re-home all tiles to a new distribution.
+
+        Returns the number of tiles whose home changed.  The actual copies
+        move lazily when the next phase's tasks first touch them (see the
+        simulator).
+        """
+        if not self.handles:
+            raise RuntimeError("tiles not registered yet")
+        moved = 0
+        for (i, j), handle in self.handles.items():
+            new_home = distribution(i, j)
+            if new_home != handle.home:
+                registry.migrate(handle, new_home)
+                moved += 1
+        return moved
+
+    def handle(self, i: int, j: int) -> DataHandle:
+        """Handle of lower tile (i, j)."""
+        try:
+            return self.handles[(i, j)]
+        except KeyError:
+            raise KeyError(
+                f"tile ({i},{j}) is not a registered lower tile of a "
+                f"{self.t}x{self.t} grid"
+            ) from None
+
+
+class TileStore:
+    """Numeric tile storage for the real-execution path.
+
+    Holds the actual ``nb x nb`` numpy blocks of the lower triangle and can
+    assemble/disassemble full symmetric matrices for validation.
+    """
+
+    def __init__(self, t: int, nb: int) -> None:
+        self.t = t
+        self.nb = nb
+        self.blocks: Dict[Tuple[int, int], np.ndarray] = {}
+
+    @classmethod
+    def from_matrix(cls, a: np.ndarray, nb: int) -> "TileStore":
+        """Tile a symmetric matrix; its order must be a multiple of nb."""
+        n = a.shape[0]
+        if a.shape != (n, n):
+            raise ValueError("matrix must be square")
+        if n % nb:
+            raise ValueError(f"order {n} not a multiple of tile size {nb}")
+        t = n // nb
+        store = cls(t, nb)
+        for j in range(t):
+            for i in range(j, t):
+                store.blocks[(i, j)] = np.array(
+                    a[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb]
+                )
+        return store
+
+    def __getitem__(self, ij: Tuple[int, int]) -> np.ndarray:
+        return self.blocks[ij]
+
+    def __setitem__(self, ij: Tuple[int, int], value: np.ndarray) -> None:
+        i, j = ij
+        if i < j:
+            raise KeyError("only lower tiles are stored")
+        if value.shape != (self.nb, self.nb):
+            raise ValueError("tile has wrong shape")
+        self.blocks[ij] = value
+
+    def to_lower_matrix(self) -> np.ndarray:
+        """Assemble the lower-triangular matrix (upper part zero)."""
+        n = self.t * self.nb
+        out = np.zeros((n, n))
+        for (i, j), block in self.blocks.items():
+            out[i * self.nb : (i + 1) * self.nb, j * self.nb : (j + 1) * self.nb] = block
+        return np.tril(out)
+
+    def to_symmetric_matrix(self) -> np.ndarray:
+        """Assemble the full symmetric matrix from the lower tiles."""
+        low = self.to_lower_matrix()
+        return low + np.tril(low, -1).T

@@ -1,0 +1,29 @@
+"""Measurement substrate: noise models, banks, configuration sweeps."""
+
+from .bank import DriftingBank, MeasurementBank, synthetic_bank
+from .calibration import Check, consistency_report
+from .noisemodel import NoiseModel, for_mode
+from .sweep import (
+    MODEL_VERSION,
+    cached_bank,
+    scenario_actions,
+    sweep_2d,
+    sweep_phases,
+    sweep_scenario,
+)
+
+__all__ = [
+    "Check",
+    "DriftingBank",
+    "MODEL_VERSION",
+    "MeasurementBank",
+    "NoiseModel",
+    "cached_bank",
+    "consistency_report",
+    "for_mode",
+    "scenario_actions",
+    "sweep_2d",
+    "sweep_phases",
+    "sweep_scenario",
+    "synthetic_bank",
+]

@@ -1,0 +1,152 @@
+"""Simulator self-consistency checks.
+
+The paper leans on StarPU-SimGrid's demonstrated accuracy ([5], [23]:
+"whose accuracy has been shown ... but which we also consistently
+checked").  We cannot compare against the authors' hardware, so this
+module provides the *internal* consistency relations a trustworthy
+simulator must satisfy; the test suite runs them, and users can run
+them against custom clusters via :func:`consistency_report`.
+
+Relations checked:
+
+* **work scaling** — with communication disabled, uniformly multiplying
+  every node's speed by k divides the makespan by ~k;
+* **LP sandwich** — LP bound <= simulated makespan <= serial time on the
+  fastest node;
+* **communication monotonicity** — slowing the network never speeds the
+  iteration up;
+* **more nodes never hurt the LP** — the bound is non-increasing in n.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List
+
+from ..distribution import LPBoundCalculator
+from ..geostat import ExaGeoStat, IterationPlan
+from ..platform.cluster import Cluster
+from ..platform.network import NetworkModel
+from ..runtime.perfmodel import PerfModel
+from ..workload import Workload
+
+
+@dataclass(frozen=True)
+class Check:
+    """One consistency-check outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _speed_scaled(cluster: Cluster, k: float) -> Cluster:
+    comp = []
+    for group in cluster.groups:
+        nt = group.node_type
+        comp.append((
+            dataclasses.replace(
+                nt, cpu_gflops=nt.cpu_gflops * k,
+                gpu_gflops=nt.gpu_gflops * k if nt.gpus else 0.0,
+            ),
+            group.size,
+        ))
+    return Cluster(comp, network=cluster.network, name=cluster.name)
+
+
+def _bandwidth_scaled(cluster: Cluster, k: float) -> Cluster:
+    comp = [
+        (dataclasses.replace(g.node_type, nic_gbps=g.node_type.nic_gbps * k),
+         g.size)
+        for g in cluster.groups
+    ]
+    return Cluster(comp, network=cluster.network, name=cluster.name)
+
+
+def check_work_scaling(
+    cluster: Cluster, workload: Workload, n_fact: int, k: float = 2.0,
+    tolerance: float = 0.15,
+) -> Check:
+    """Speed x k => makespan / ~k (fast network isolates compute)."""
+    fast_net = NetworkModel(latency_s=1e-9, backbone_gbps=None,
+                            efficiency=1.0, streams=8)
+    base = Cluster(
+        [(g.node_type, g.size) for g in cluster.groups], network=fast_net
+    )
+    base = _bandwidth_scaled(base, 1e4)
+    scaled = _speed_scaled(base, k)
+    plan = IterationPlan(n_fact=n_fact, n_gen=len(cluster))
+    m1 = ExaGeoStat(base, workload).simulate(plan).makespan
+    m2 = ExaGeoStat(scaled, workload).simulate(plan).makespan
+    ratio = m1 / m2
+    ok = abs(ratio - k) <= tolerance * k
+    return Check(
+        "work scaling",
+        ok,
+        f"speedup {ratio:.2f} for k={k} (tolerance {tolerance:.0%})",
+    )
+
+
+def check_lp_sandwich(
+    cluster: Cluster, workload: Workload, n_fact: int
+) -> Check:
+    """LP(n) <= makespan(n) <= total work on the single fastest node."""
+    plan = IterationPlan(n_fact=n_fact, n_gen=len(cluster))
+    makespan = ExaGeoStat(cluster, workload).simulate(plan).makespan
+    lp = LPBoundCalculator(cluster, workload)
+    lower = lp.iteration(n_fact)
+    pm = PerfModel()
+    fastest = cluster[0].node_type
+    rate = pm.best_rate("gemm", fastest.cpu_gflops, fastest.gpu_gflops)
+    serial = (
+        workload.factorization_total_flops / (rate * 1e9)
+        + workload.generation_total_flops / (fastest.cpu_gflops * 1e9)
+    )
+    ok = lower <= makespan + 1e-9 and makespan <= serial * 1.5
+    return Check(
+        "LP sandwich",
+        ok,
+        f"LP {lower:.2f} <= makespan {makespan:.2f} <= ~serial {serial:.2f}",
+    )
+
+
+def check_network_monotonicity(
+    cluster: Cluster, workload: Workload, n_fact: int, k: float = 0.25
+) -> Check:
+    """Slowing every NIC by 1/k never reduces the makespan."""
+    plan = IterationPlan(n_fact=n_fact, n_gen=len(cluster))
+    base = ExaGeoStat(cluster, workload).simulate(plan).makespan
+    slow = ExaGeoStat(_bandwidth_scaled(cluster, k), workload).simulate(plan).makespan
+    ok = slow >= base * 0.98
+    return Check(
+        "network monotonicity",
+        ok,
+        f"makespan {base:.2f} -> {slow:.2f} with {k:.2f}x bandwidth",
+    )
+
+
+def check_lp_monotone_in_nodes(
+    cluster: Cluster, workload: Workload
+) -> Check:
+    """The LP bound never increases when nodes are added."""
+    lp = LPBoundCalculator(cluster, workload)
+    values = [lp.fact(n) for n in range(1, len(cluster) + 1)]
+    ok = all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+    return Check(
+        "LP monotone in nodes",
+        ok,
+        f"fact bound {values[0]:.2f} .. {values[-1]:.2f} over n=1..{len(cluster)}",
+    )
+
+
+def consistency_report(
+    cluster: Cluster, workload: Workload, n_fact: int
+) -> List[Check]:
+    """Run every consistency check; all should pass on a sane setup."""
+    return [
+        check_work_scaling(cluster, workload, n_fact),
+        check_lp_sandwich(cluster, workload, n_fact),
+        check_network_monotonicity(cluster, workload, n_fact),
+        check_lp_monotone_in_nodes(cluster, workload),
+    ]

@@ -1,0 +1,74 @@
+"""Observation-noise models for augmenting deterministic simulations.
+
+Section V: "the simulation evaluation of each configuration is augmented
+30 times, assuming a normal distribution with a standard deviation of
+0.5 s (computed from the real experiments)".  Scenarios measured on real
+machines in the paper additionally show outliers ("the observation noise
+is generally the same for all number of nodes, with few outliers",
+Section III), which we model with a small probability of a positive
+shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import config
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Gaussian observation noise with optional positive outliers.
+
+    Parameters
+    ----------
+    sd:
+        Standard deviation of the Gaussian component (seconds).
+    outlier_prob:
+        Probability that a sample is an outlier.
+    outlier_shift:
+        Range (lo, hi) of the uniform positive shift added to outliers.
+    """
+
+    sd: float = config.SIMULATION_NOISE_SD
+    outlier_prob: float = 0.0
+    outlier_shift: tuple = (1.0, 5.0)
+
+    def __post_init__(self) -> None:
+        if self.sd < 0:
+            raise ValueError("sd must be non-negative")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError("outlier_prob must be in [0, 1]")
+        lo, hi = self.outlier_shift
+        if lo < 0 or hi < lo:
+            raise ValueError("outlier_shift must satisfy 0 <= lo <= hi")
+
+    def sample(self, duration: float, rng: np.random.Generator) -> float:
+        """One noisy observation of a true duration."""
+        y = duration + rng.normal(0.0, self.sd)
+        if self.outlier_prob and rng.random() < self.outlier_prob:
+            y += rng.uniform(*self.outlier_shift)
+        return max(y, 0.0)
+
+    def augment(
+        self, duration: float, k: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """``k`` noisy observations of a true duration (Section V)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return np.array([self.sample(duration, rng) for _ in range(k)])
+
+
+def for_mode(mode: str) -> NoiseModel:
+    """Noise model for a scenario mode (``"Simul"`` or ``"Real"``)."""
+    if mode == "Simul":
+        return NoiseModel(sd=config.SIMULATION_NOISE_SD)
+    if mode == "Real":
+        return NoiseModel(
+            sd=config.SIMULATION_NOISE_SD * 1.4,
+            outlier_prob=0.03,
+            outlier_shift=(1.0, 5.0),
+        )
+    raise ValueError(f"unknown mode {mode!r}; expected 'Simul' or 'Real'")

@@ -1,0 +1,258 @@
+"""Configuration sweeps: building measurement banks from the simulator.
+
+``sweep_scenario`` simulates every allowed factorization node count of a
+scenario once (deterministic, like StarPU-SimGrid) and augments each
+duration with the scenario's noise model -- the paper's exact procedure
+(Section V).  ``cached_bank`` persists banks under
+:func:`repro.config.cache_dir` so the expensive sweeps run once.
+
+``sweep_2d`` varies the generation *and* factorization node counts for
+the Figure 8 heatmap.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import config
+from ..distribution import LPBoundCalculator
+from ..geostat import ExaGeoStat, IterationPlan
+from ..platform.scenarios import Scenario
+from ..workload import Workload
+from .bank import MeasurementBank
+from .noisemodel import for_mode
+
+#: Bump when the simulator/calibration changes to invalidate cached banks.
+MODEL_VERSION = 4
+
+
+def scenario_actions(scenario: Scenario, workload: Optional[Workload] = None):
+    """Allowed node counts: memory-feasible, at least 2, up to N."""
+    workload = workload or Workload.from_name(scenario.workload)
+    cluster = scenario.build_cluster()
+    lo = max(2, cluster.min_nodes_for(workload.matrix_bytes))
+    return tuple(range(lo, len(cluster) + 1))
+
+
+def _measure_action(args) -> tuple:
+    """Worker for parallel sweeps: one configuration's deterministic sim.
+
+    Module-level so it pickles for ProcessPoolExecutor; rebuilds the
+    scenario in the worker process (cheap against the simulation).
+    """
+    scenario, tiles_env, n, include_rigid = args
+    import os
+
+    os.environ[f"REPRO_TILES_{scenario.workload}"] = str(tiles_env)
+    workload = Workload.from_name(scenario.workload)
+    cluster = scenario.build_cluster()
+    app = ExaGeoStat(cluster, workload)
+    duration = app.measure(n, len(cluster))
+    rigid = (
+        app.simulate(IterationPlan(n_fact=n, n_gen=n)).makespan
+        if include_rigid
+        else None
+    )
+    return n, duration, rigid
+
+
+def sweep_scenario(
+    scenario: Scenario,
+    actions: Optional[Sequence[int]] = None,
+    augment: int = config.AUGMENT_SAMPLES,
+    seed: int = 12345,
+    include_rigid: bool = False,
+    progress: bool = False,
+    workers: int = 1,
+) -> MeasurementBank:
+    """Build the measurement bank of a scenario.
+
+    Parameters
+    ----------
+    actions:
+        Node counts to sweep; defaults to the full allowed range.
+    augment:
+        Noisy samples per configuration (paper: 30).
+    include_rigid:
+        Also sweep the rigid ``n_gen = n_fact`` configuration (the yellow
+        line of Figure 5).
+    workers:
+        Process count for the sweep.  Each configuration is an
+        independent deterministic simulation, so the sweep parallelizes
+        perfectly; results are identical for any worker count.
+    """
+    workload = Workload.from_name(scenario.workload)
+    cluster = scenario.build_cluster()
+    lp_calc = LPBoundCalculator(cluster, workload)
+    noise = for_mode(scenario.mode)
+    rng = np.random.default_rng(seed)
+
+    if actions is None:
+        actions = scenario_actions(scenario, workload)
+    actions = tuple(int(a) for a in actions)
+
+    results: Dict[int, tuple] = {}
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [(scenario, workload.t, n, include_rigid) for n in actions]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for i, (n, duration, rig) in enumerate(
+                pool.map(_measure_action, jobs)
+            ):
+                results[n] = (duration, rig)
+                if progress:
+                    print(
+                        f"\r  sweep {scenario.full_label}: "
+                        f"{i + 1}/{len(actions)}",
+                        end="", file=sys.stderr, flush=True,
+                    )
+    else:
+        app = ExaGeoStat(cluster, workload)
+        for i, n in enumerate(actions):
+            duration = app.measure(n, len(cluster))
+            rig = (
+                app.simulate(IterationPlan(n_fact=n, n_gen=n)).makespan
+                if include_rigid
+                else None
+            )
+            results[n] = (duration, rig)
+            if progress:
+                print(
+                    f"\r  sweep {scenario.full_label}: {i + 1}/{len(actions)}",
+                    end="", file=sys.stderr, flush=True,
+                )
+    if progress:
+        print(file=sys.stderr)
+
+    samples: Dict[int, np.ndarray] = {}
+    lp: Dict[int, float] = {}
+    true_means: Dict[int, float] = {}
+    rigid: Dict[int, float] = {}
+    for n in actions:  # noise drawn in action order: worker-count invariant
+        duration, rig = results[n]
+        samples[n] = noise.augment(duration, augment, rng)
+        lp[n] = lp_calc.iteration(n)
+        true_means[n] = duration
+        if include_rigid and rig is not None:
+            rigid[n] = rig
+
+    return MeasurementBank(
+        label=scenario.full_label,
+        actions=actions,
+        samples=samples,
+        lp=lp,
+        group_boundaries=cluster.group_boundaries,
+        true_means=true_means,
+        rigid=rigid,
+    )
+
+
+def _cache_path(scenario: Scenario, augment: int, seed: int, rigid: bool) -> Path:
+    workload = Workload.from_name(scenario.workload)
+    name = (
+        f"bank_v{MODEL_VERSION}_{scenario.key}_t{workload.t}"
+        f"_a{augment}_s{seed}{'_r' if rigid else ''}.json"
+    )
+    return config.cache_dir() / name
+
+
+def cached_bank(
+    scenario: Scenario,
+    augment: int = config.AUGMENT_SAMPLES,
+    seed: int = 12345,
+    include_rigid: bool = False,
+    progress: bool = False,
+    workers: int = 0,
+) -> MeasurementBank:
+    """Load the scenario's bank from the cache, building it if needed.
+
+    ``workers=0`` (default) reads ``REPRO_SWEEP_WORKERS`` from the
+    environment (1 if unset); results are identical for any value.
+    """
+    path = _cache_path(scenario, augment, seed, include_rigid)
+    if path.exists():
+        return MeasurementBank.load(path)
+    if workers <= 0:
+        import os
+
+        workers = max(1, int(os.environ.get("REPRO_SWEEP_WORKERS", "1")))
+    bank = sweep_scenario(
+        scenario,
+        augment=augment,
+        seed=seed,
+        include_rigid=include_rigid,
+        progress=progress,
+        workers=workers,
+    )
+    bank.save(path)
+    return bank
+
+
+def sweep_phases(
+    scenario: Scenario,
+    actions: Optional[Sequence[int]] = None,
+    progress: bool = False,
+) -> Dict[int, Dict[str, float]]:
+    """Per-phase spans for each n_fact (Figure 2's gen/fact bars).
+
+    Returns ``{n: {phase: wall-clock span seconds, ..., "makespan": s}}``.
+    """
+    workload = Workload.from_name(scenario.workload)
+    cluster = scenario.build_cluster()
+    app = ExaGeoStat(cluster, workload)
+    if actions is None:
+        actions = scenario_actions(scenario, workload)
+    out: Dict[int, Dict[str, float]] = {}
+    n_total = len(cluster)
+    for i, n in enumerate(actions):
+        result = app.simulate(IterationPlan(n_fact=int(n), n_gen=n_total))
+        spans = {p: e - s for p, (s, e) in result.phase_spans.items()}
+        spans["makespan"] = result.makespan
+        out[int(n)] = spans
+        if progress:
+            print(
+                f"\r  phase sweep {scenario.key}: {i + 1}/{len(actions)}",
+                end="", file=sys.stderr, flush=True,
+            )
+    if progress:
+        print(file=sys.stderr)
+    return out
+
+
+def sweep_2d(
+    scenario: Scenario,
+    gen_counts: Optional[Sequence[int]] = None,
+    fact_counts: Optional[Sequence[int]] = None,
+    progress: bool = False,
+) -> Tuple[np.ndarray, Sequence[int], Sequence[int]]:
+    """Iteration duration over (n_gen, n_fact) -- the Figure 8 heatmap.
+
+    Returns ``(durations, gen_counts, fact_counts)`` with durations of
+    shape (len(gen_counts), len(fact_counts)).
+    """
+    workload = Workload.from_name(scenario.workload)
+    cluster = scenario.build_cluster()
+    app = ExaGeoStat(cluster, workload)
+    allowed = scenario_actions(scenario, workload)
+    if gen_counts is None:
+        gen_counts = allowed
+    if fact_counts is None:
+        fact_counts = allowed
+    out = np.empty((len(gen_counts), len(fact_counts)))
+    for gi, n_gen in enumerate(gen_counts):
+        for fi, n_fact in enumerate(fact_counts):
+            result = app.simulate(IterationPlan(n_fact=int(n_fact), n_gen=int(n_gen)))
+            out[gi, fi] = result.makespan
+        if progress:
+            print(
+                f"\r  2d sweep {scenario.key}: row {gi + 1}/{len(gen_counts)}",
+                end="", file=sys.stderr, flush=True,
+            )
+    if progress:
+        print(file=sys.stderr)
+    return out, list(gen_counts), list(fact_counts)

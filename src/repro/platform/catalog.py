@@ -1,0 +1,171 @@
+"""Machine catalog: the node types of the paper's Table II.
+
+Throughputs are aggregate double-precision dgemm rates calibrated from
+public peak numbers for the exact CPU/GPU models (80-85 % dgemm
+efficiency).  Only relative speeds matter for the phenomena under study.
+
+============  =====  ========================  ==============  ==========
+Machine       Cat.   CPU                       GPU             Site
+============  =====  ========================  ==============  ==========
+chetemi       S      2x Xeon E5-2630 v4        --              Grid'5000
+chifflet      M      2x Xeon E5-2680 v4        2x GTX 1080     Grid'5000
+chifflot      L      2x Xeon Gold 6126         2x Tesla P100   Grid'5000
+b715          S      2x Xeon E5-2695 v2        --              SDumont
+b715-gpu1     M      2x Xeon E5-2695 v2        1x K40          SDumont
+b715-gpu      L      2x Xeon E5-2695 v2        2x K40          SDumont
+============  =====  ========================  ==============  ==========
+
+``b715-gpu1`` is the paper's "artificial machine to increase heterogeneity
+by only using one GPU" (Table II footnote).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .network import NetworkModel
+from .node import NodeType
+
+# -- Grid'5000 (10/25 Gb/s Ethernet) ---------------------------------------------
+
+CHETEMI = NodeType(
+    name="chetemi",
+    site="G5K",
+    category="S",
+    cpu_desc="2x Xeon E5-2630 v4",
+    gpu_desc="",
+    cpu_gflops=350.0,
+    gpus=0,
+    gpu_gflops=0.0,
+    nic_gbps=20.0,
+    memory_gb=64.0,
+)
+
+# The GTX 1080 rate is an application-level calibration: ExaGeoStat's
+# mixed CPU+GPU tile kernels extract far more than the card's nominal
+# FP64 peak (the paper's scenario (b) shows M nodes contributing roughly
+# 0.4x of an L node, which pins this value).
+CHIFFLET = NodeType(
+    name="chifflet",
+    site="G5K",
+    category="M",
+    cpu_desc="2x Xeon E5-2680 v4",
+    gpu_desc="2x GTX 1080",
+    cpu_gflops=480.0,
+    gpus=2,
+    gpu_gflops=1600.0,
+    nic_gbps=20.0,
+    memory_gb=64.0,
+)
+
+CHIFFLOT = NodeType(
+    name="chifflot",
+    site="G5K",
+    category="L",
+    cpu_desc="2x Xeon Gold 6126",
+    gpu_desc="2x Tesla P100",
+    cpu_gflops=900.0,
+    gpus=2,
+    gpu_gflops=4200.0,
+    nic_gbps=50.0,
+    memory_gb=64.0,
+)
+
+# -- Santos Dumont (Infiniband FDR 56 Gb/s) ---------------------------------------
+
+B715 = NodeType(
+    name="b715",
+    site="SD",
+    category="S",
+    cpu_desc="2x Xeon E5-2695 v2",
+    gpu_desc="",
+    cpu_gflops=430.0,
+    gpus=0,
+    gpu_gflops=0.0,
+    nic_gbps=56.0,
+    memory_gb=24.0,
+)
+
+B715_GPU1 = NodeType(
+    name="b715-gpu1",
+    site="SD",
+    category="M",
+    cpu_desc="2x Xeon E5-2695 v2",
+    gpu_desc="1x K40",
+    cpu_gflops=430.0,
+    gpus=1,
+    gpu_gflops=1200.0,
+    nic_gbps=56.0,
+    memory_gb=24.0,
+)
+
+B715_GPU = NodeType(
+    name="b715-gpu",
+    site="SD",
+    category="L",
+    cpu_desc="2x Xeon E5-2695 v2",
+    gpu_desc="2x K40",
+    cpu_gflops=430.0,
+    gpus=2,
+    gpu_gflops=1200.0,
+    nic_gbps=56.0,
+    memory_gb=24.0,
+)
+
+#: All Table II node types, keyed by (site, category).
+TABLE_II: Dict[tuple, NodeType] = {
+    ("G5K", "S"): CHETEMI,
+    ("G5K", "M"): CHIFFLET,
+    ("G5K", "L"): CHIFFLOT,
+    ("SD", "S"): B715,
+    ("SD", "M"): B715_GPU1,
+    ("SD", "L"): B715_GPU,
+}
+
+
+def node_type(site: str, category: str) -> NodeType:
+    """Look up the Table II node type for (site, category)."""
+    try:
+        return TABLE_II[(site, category)]
+    except KeyError:
+        raise ValueError(
+            f"no node type for site={site!r}, category={category!r}; "
+            f"sites are 'G5K'/'SD', categories 'L'/'M'/'S'"
+        ) from None
+
+
+def network_for_site(site: str) -> NetworkModel:
+    """Default network model for a site.
+
+    Grid'5000 uses Ethernet (higher latency, 2x100 Gb/s backbone between
+    partitions); Santos Dumont uses Infiniband FDR.
+    """
+    if site == "G5K":
+        return NetworkModel(
+            latency_s=30e-6, backbone_gbps=200.0, efficiency=0.85, streams=3
+        )
+    if site == "SD":
+        return NetworkModel(
+            latency_s=2e-6, backbone_gbps=None, efficiency=0.90, streams=2
+        )
+    raise ValueError(f"unknown site {site!r}")
+
+
+def table2_rows() -> list:
+    """Rows of Table II for reporting (category, site, machine, cpu, gpu)."""
+    rows = []
+    for (site, _cat), nt in TABLE_II.items():
+        rows.append(
+            {
+                "category": nt.category,
+                "site": site,
+                "machine": nt.name,
+                "cpu": nt.cpu_desc,
+                "gpu": nt.gpu_desc or "-",
+                "total_gflops": nt.total_gflops,
+                "nic_gbps": nt.nic_gbps,
+            }
+        )
+    order = {"S": 2, "M": 1, "L": 0}
+    rows.sort(key=lambda r: (r["site"], order[r["category"]]))
+    return rows

@@ -1,0 +1,78 @@
+"""Interconnection network model.
+
+The paper's platforms use three networks (Section VI-A):
+
+* Grid'5000 Chetemi/Chifflet: 10 Gb/s Ethernet,
+* Grid'5000 Chifflot: 25 Gb/s Ethernet (2x100 Gb/s backbone between
+  partitions),
+* Santos Dumont: Infiniband FDR 56 Gb/s.
+
+We model the network at the NIC level: a point-to-point transfer occupies
+the sender's egress NIC and the receiver's ingress NIC for
+``latency + bytes / bandwidth`` seconds, where the bandwidth is the minimum
+of the two NIC bandwidths (cross-site transfers are additionally capped by
+the backbone).  Contention emerges in the simulator because NICs serve one
+transfer at a time (see :mod:`repro.runtime.simulator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import Node
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency/bandwidth network model with per-NIC capacities.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way latency per transfer, seconds.
+    backbone_gbps:
+        Capacity of the inter-partition backbone (caps cross-site
+        transfers).  ``None`` disables the cap.
+    efficiency:
+        Fraction of nominal NIC bandwidth achievable by the communication
+        stack (protocol overheads); 0 < efficiency <= 1.
+    streams:
+        Concurrent transfers each NIC can carry at full per-transfer rate
+        (multi-rail NICs + NewMadeleine's multiplexed streams over a
+        switched fabric).  Aggregate NIC capacity is
+        ``streams * link bandwidth``; a single transfer still progresses
+        at the link rate.
+    """
+
+    latency_s: float = 20e-6
+    backbone_gbps: float | None = 200.0
+    efficiency: float = 0.85
+    streams: int = 2
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.backbone_gbps is not None and self.backbone_gbps <= 0:
+            raise ValueError("backbone_gbps must be positive or None")
+        if self.streams < 1:
+            raise ValueError("streams must be >= 1")
+
+    def link_bandwidth(self, src: Node, dst: Node) -> float:
+        """Effective bandwidth (bytes/s) between two nodes."""
+        bw = min(src.node_type.nic_bytes_per_s, dst.node_type.nic_bytes_per_s)
+        if (
+            self.backbone_gbps is not None
+            and src.node_type.site != dst.node_type.site
+        ):
+            bw = min(bw, self.backbone_gbps * 1e9 / 8.0)
+        return bw * self.efficiency
+
+    def transfer_time(self, src: Node, dst: Node, nbytes: float) -> float:
+        """Uncontended duration of a ``nbytes`` transfer from src to dst."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if src.index == dst.index:
+            return 0.0
+        return self.latency_s + nbytes / self.link_bandwidth(src, dst)

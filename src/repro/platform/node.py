@@ -1,0 +1,141 @@
+"""Computational node models.
+
+A :class:`NodeType` captures the hardware characteristics of one machine
+model from the paper's Table II (CPU cores and their aggregate double
+precision throughput, number of GPUs and per-GPU throughput, NIC bandwidth
+and memory capacity).  A :class:`Node` is one concrete machine instance in a
+cluster.
+
+Speeds are calibrated from public peak dgemm numbers for the exact CPU/GPU
+models of Table II; only *relative* speeds shape the phenomena the paper
+studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Machine-size categories used throughout the paper.
+CATEGORIES = ("L", "M", "S")
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """Hardware description of one machine model (one row of Table II).
+
+    Parameters
+    ----------
+    name:
+        Machine model name (e.g. ``"chifflot"``).
+    site:
+        Hosting site: ``"G5K"`` (Grid'5000) or ``"SD"`` (Santos Dumont).
+    category:
+        Size category ``"L"``, ``"M"`` or ``"S"`` (Table II leftmost column).
+    cpu_desc / gpu_desc:
+        Human-readable hardware strings, straight from Table II.
+    cpu_gflops:
+        Aggregate double-precision throughput of all CPU cores (GFlop/s).
+    cpu_slots:
+        Number of concurrently executing CPU tile kernels the simulator
+        models for this node.  Node CPU throughput is preserved regardless
+        of the slot count; the slot count only controls how long a *single*
+        tile kernel takes (``flops / (cpu_gflops / cpu_slots)``) and hence
+        the magnitude of critical-path stalls on CPU-only nodes.  The
+        default of 1 models multi-threaded tile kernels spanning the node
+        (appropriate for the large scaled tiles this reproduction uses).
+    gpus:
+        Number of GPUs.
+    gpu_gflops:
+        Double-precision throughput per GPU (GFlop/s).
+    nic_gbps:
+        Network interface bandwidth in Gbit/s.
+    memory_gb:
+        Usable memory for tiles, used to derive the minimum feasible node
+        count for a workload.
+    """
+
+    name: str
+    site: str
+    category: str
+    cpu_desc: str
+    gpu_desc: str
+    cpu_gflops: float
+    gpus: int
+    gpu_gflops: float
+    nic_gbps: float
+    memory_gb: float
+    cpu_slots: int = 1
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise ValueError(f"category must be one of {CATEGORIES}, got {self.category!r}")
+        if self.cpu_gflops <= 0:
+            raise ValueError("cpu_gflops must be positive")
+        if self.gpus < 0 or (self.gpus > 0 and self.gpu_gflops <= 0):
+            raise ValueError("inconsistent GPU description")
+        if self.nic_gbps <= 0 or self.memory_gb <= 0:
+            raise ValueError("nic_gbps and memory_gb must be positive")
+        if self.cpu_slots < 1:
+            raise ValueError("cpu_slots must be >= 1")
+
+    @property
+    def total_gflops(self) -> float:
+        """Aggregate node throughput (CPU + all GPUs), in GFlop/s.
+
+        This is the speed relevant to the factorization phase, which can
+        exploit every resource of the node.
+        """
+        return self.cpu_gflops + self.gpus * self.gpu_gflops
+
+    @property
+    def generation_gflops(self) -> float:
+        """Throughput available to the generation phase (CPU only)."""
+        return self.cpu_gflops
+
+    @property
+    def nic_bytes_per_s(self) -> float:
+        """NIC bandwidth in bytes/s."""
+        return self.nic_gbps * 1e9 / 8.0
+
+    def describe(self) -> str:
+        """One-line human-readable description (Table II style)."""
+        gpu = self.gpu_desc if self.gpus else "-"
+        return (
+            f"{self.category} {self.site:>3} {self.name:<12} "
+            f"CPU: {self.cpu_desc:<22} GPU: {gpu}"
+        )
+
+
+@dataclass(frozen=True)
+class Node:
+    """One concrete machine in a cluster.
+
+    Nodes are identified by ``index`` (their position in the cluster's
+    fastest-first ordering) and carry their :class:`NodeType`.
+    """
+
+    index: int
+    node_type: NodeType
+    hostname: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("index must be non-negative")
+        if not self.hostname:
+            object.__setattr__(self, "hostname", f"{self.node_type.name}-{self.index}")
+
+    @property
+    def category(self) -> str:
+        """Size category of this node (L/M/S)."""
+        return self.node_type.category
+
+    @property
+    def total_gflops(self) -> float:
+        """Aggregate CPU+GPU throughput of this node."""
+        return self.node_type.total_gflops
+
+    @property
+    def generation_gflops(self) -> float:
+        """CPU-only throughput of this node."""
+        return self.node_type.generation_gflops

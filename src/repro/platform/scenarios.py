@@ -1,0 +1,118 @@
+"""The paper's 16 evaluation scenarios (Figures 5 and 6).
+
+Each scenario is a heterogeneous cluster composition, a workload and a
+measurement mode.  Mode ``"Real"`` scenarios were measured on real machines
+in the paper; here they are simulated like the others but with the larger
+observation noise and occasional outliers observed on real systems (see
+:mod:`repro.measure.noisemodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .catalog import network_for_site, node_type
+from .cluster import Cluster
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario.
+
+    Attributes
+    ----------
+    key:
+        Subfigure letter, ``"a"`` .. ``"p"``.
+    site:
+        ``"G5K"`` or ``"SD"``.
+    counts:
+        Nodes per category, e.g. ``{"L": 2, "M": 6, "S": 6}``.
+    workload:
+        ``"101"`` (96100 matrix) or ``"128"`` (122880 matrix).
+    mode:
+        ``"Real"`` or ``"Simul"``.
+    """
+
+    key: str
+    site: str
+    counts: Tuple[Tuple[str, int], ...]
+    workload: str
+    mode: str
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"G5K 2L-6M-6S 101"``."""
+        comp = "-".join(f"{c}{cat}" for cat, c in self.counts)
+        return f"{self.site} {comp} {self.workload}"
+
+    @property
+    def full_label(self) -> str:
+        """Label with subfigure letter and mode, as in Figures 5/6."""
+        return f"({self.key}) {self.label} ({self.mode})"
+
+    @property
+    def total_nodes(self) -> int:
+        """Total node count N of the scenario."""
+        return sum(c for _, c in self.counts)
+
+    def build_cluster(self) -> Cluster:
+        """Instantiate the scenario's heterogeneous cluster."""
+        composition = [
+            (node_type(self.site, cat), count) for cat, count in self.counts
+        ]
+        return Cluster(
+            composition,
+            network=network_for_site(self.site),
+            name=self.label,
+        )
+
+
+def _s(key: str, site: str, spec: str, workload: str, mode: str) -> Scenario:
+    """Build a Scenario from a compact spec such as ``"2L-6M-6S"``."""
+    counts = []
+    for part in spec.split("-"):
+        counts.append((part[-1], int(part[:-1])))
+    return Scenario(key=key, site=site, counts=tuple(counts), workload=workload, mode=mode)
+
+
+#: The 16 scenarios of Figures 5/6, keyed by subfigure letter.
+SCENARIOS: Dict[str, Scenario] = {
+    s.key: s
+    for s in [
+        _s("a", "G5K", "2L-4M-4S", "101", "Real"),
+        _s("b", "G5K", "2L-6M-6S", "101", "Real"),
+        _s("c", "SD", "10L-10S", "128", "Real"),
+        _s("d", "SD", "3L-8M-10S", "101", "Simul"),
+        _s("e", "G5K", "2L-6M-15S", "101", "Simul"),
+        _s("f", "G5K", "2L-6M-15S", "128", "Simul"),
+        _s("g", "G5K", "5L-6M-15S", "101", "Real"),
+        _s("h", "SD", "10L-10M-10S", "128", "Real"),
+        _s("i", "G5K", "6L-30S", "101", "Simul"),
+        _s("j", "G5K", "2L-6M-30S", "101", "Simul"),
+        _s("k", "SD", "10L-40S", "101", "Simul"),
+        _s("l", "SD", "3L-8M-50S", "128", "Simul"),
+        _s("m", "SD", "64L", "128", "Real"),
+        _s("n", "SD", "15L-60S", "101", "Simul"),
+        _s("o", "SD", "15L-60S", "128", "Simul"),
+        _s("p", "SD", "64L-64S", "128", "Simul"),
+    ]
+}
+
+#: The three representative scenarios of Figure 2 (subset of Figure 5).
+FIGURE2_KEYS = ("c", "i", "p")
+
+
+def get_scenario(key: str) -> Scenario:
+    """Scenario by subfigure letter (``"a"`` .. ``"p"``)."""
+    try:
+        return SCENARIOS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {key!r}; valid keys: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def all_scenarios() -> Tuple[Scenario, ...]:
+    """All 16 scenarios in subfigure order."""
+    return tuple(SCENARIOS[k] for k in sorted(SCENARIOS))

@@ -1,0 +1,40 @@
+"""StarPU-like task-based runtime: STF graphs + discrete-event simulation.
+
+This package is the runtime substrate: tasks and data handles mirror the
+StarPU programming model described in Section II of the paper, and the
+:class:`Simulator` plays the role StarPU-SimGrid plays in the paper's
+methodology (Section V).
+"""
+
+from .dag import TaskGraph, chain
+from .data import DataHandle, DataRegistry
+from .perfmodel import CPU, DEFAULT_EFFICIENCY, GPU, PerfModel
+from .simulator import SimulationResult, Simulator, TaskRecord, TransferRecord
+from .task import Placement, Task
+from .trace import (
+    UtilizationTimeline,
+    phase_rows,
+    render_ascii,
+    utilization_timeline,
+)
+
+__all__ = [
+    "CPU",
+    "DEFAULT_EFFICIENCY",
+    "DataHandle",
+    "DataRegistry",
+    "GPU",
+    "Placement",
+    "PerfModel",
+    "SimulationResult",
+    "Simulator",
+    "Task",
+    "TaskGraph",
+    "TaskRecord",
+    "TransferRecord",
+    "UtilizationTimeline",
+    "chain",
+    "phase_rows",
+    "render_ascii",
+    "utilization_timeline",
+]

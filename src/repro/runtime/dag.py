@@ -1,0 +1,168 @@
+"""Sequential Task Flow (STF) graph builder.
+
+Tasks are submitted one by one, exactly like a StarPU application would;
+dependencies are inferred from data access modes:
+
+* read-after-write: a reader depends on the last writer of each handle;
+* write-after-read / write-after-write: a writer depends on the last
+  writer *and* every reader since (readers may run concurrently with each
+  other).
+
+Under owner-computes the execution node of a task is the home of the first
+handle it writes (Section II: "a task will execute on the node that owns
+the data blocks they write").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .data import DataHandle, DataRegistry
+from .task import Placement, Task
+
+
+class TaskGraph:
+    """A DAG of tasks built by STF submission.
+
+    The graph stores successor lists and in-degrees, which is all the
+    simulator needs.
+    """
+
+    def __init__(self, registry: Optional[DataRegistry] = None) -> None:
+        self.registry = registry if registry is not None else DataRegistry()
+        self.tasks: List[Task] = []
+        self.successors: List[List[int]] = []
+        self.indegree: List[int] = []
+        # STF bookkeeping: per handle, last writer and readers since then.
+        self._last_writer: Dict[int, int] = {}
+        self._readers: Dict[int, List[int]] = {}
+
+    # -- submission -------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        phase: str,
+        flops: float,
+        reads: Sequence[DataHandle] = (),
+        writes: Sequence[DataHandle] = (),
+        placement: Placement = Placement.ANY,
+        priority: int = 0,
+        tag: tuple = (),
+        node: Optional[int] = None,
+    ) -> Task:
+        """Submit one task; returns the created :class:`Task`.
+
+        ``node`` overrides owner-computes placement when given (used by
+        tasks with no written handle, e.g. reductions pinned to a node).
+        """
+        tid = len(self.tasks)
+        if node is None:
+            if writes:
+                node = writes[0].home
+            elif reads:
+                node = reads[0].home
+            else:
+                raise ValueError("task with no data accesses requires an explicit node")
+
+        task = Task(
+            tid=tid,
+            name=name,
+            phase=phase,
+            flops=flops,
+            node=node,
+            reads=tuple(h.hid for h in reads),
+            writes=tuple(h.hid for h in writes),
+            placement=placement,
+            priority=priority,
+            tag=tag,
+        )
+        self.tasks.append(task)
+        self.successors.append([])
+        self.indegree.append(0)
+
+        deps: Set[int] = set()
+        for h in reads:
+            w = self._last_writer.get(h.hid)
+            if w is not None:
+                deps.add(w)
+            self._readers.setdefault(h.hid, []).append(tid)
+        for h in writes:
+            w = self._last_writer.get(h.hid)
+            if w is not None:
+                deps.add(w)
+            for r in self._readers.get(h.hid, ()):  # write-after-read
+                deps.add(r)
+            self._last_writer[h.hid] = tid
+            self._readers[h.hid] = []
+
+        deps.discard(tid)
+        for dep in deps:
+            self.successors[dep].append(tid)
+        self.indegree[tid] = len(deps)
+        return task
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def roots(self) -> List[int]:
+        """Task ids with no dependencies."""
+        return [t.tid for t in self.tasks if self.indegree[t.tid] == 0]
+
+    def predecessors(self) -> List[List[int]]:
+        """Predecessor lists (computed on demand; successors are primary)."""
+        preds: List[List[int]] = [[] for _ in self.tasks]
+        for tid, succs in enumerate(self.successors):
+            for s in succs:
+                preds[s].append(tid)
+        return preds
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological order; raises if the graph has a cycle."""
+        indeg = list(self.indegree)
+        stack = [tid for tid, d in enumerate(indeg) if d == 0]
+        order: List[int] = []
+        while stack:
+            tid = stack.pop()
+            order.append(tid)
+            for s in self.successors[tid]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
+                    stack.append(s)
+        if len(order) != len(self.tasks):
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def validate_acyclic(self) -> None:
+        """Raise ``ValueError`` if the graph is cyclic."""
+        self.topological_order()
+
+    def phase_tasks(self, phase: str) -> List[Task]:
+        """Tasks belonging to one application phase."""
+        return [t for t in self.tasks if t.phase == phase]
+
+    def total_flops(self, phase: Optional[str] = None) -> float:
+        """Total task flops, optionally restricted to one phase."""
+        return sum(t.flops for t in self.tasks if phase is None or t.phase == phase)
+
+    def counts_by_name(self) -> Dict[str, int]:
+        """Task count per kernel name."""
+        out: Dict[str, int] = {}
+        for t in self.tasks:
+            out[t.name] = out.get(t.name, 0) + 1
+        return out
+
+
+def chain(graph: TaskGraph, tids: Iterable[int]) -> None:
+    """Add explicit precedence edges forming a chain over ``tids``.
+
+    Utility for tests and for modelling phase barriers.
+    """
+    prev: Optional[int] = None
+    for tid in tids:
+        if prev is not None:
+            graph.successors[prev].append(tid)
+            graph.indegree[tid] += 1
+        prev = tid

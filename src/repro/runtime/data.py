@@ -1,0 +1,83 @@
+"""Data handles and the data registry.
+
+Mirrors StarPU's data registration API (Section II): every block used by a
+task must be registered with a *home* node that owns it.  Homes can be
+changed between phases (``migrate``) to express a new distribution; the
+runtime then moves data lazily/asynchronously, which the simulator models
+as transfers triggered by the first consumer task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class DataHandle:
+    """One registered data block.
+
+    Attributes
+    ----------
+    hid:
+        Dense handle id.
+    name:
+        Debug label (e.g. ``"A[3,1]"``).
+    nbytes:
+        Size of the block in bytes.
+    home:
+        Node index that currently owns the block (writes happen there under
+        owner-computes).
+    """
+
+    hid: int
+    name: str
+    nbytes: float
+    home: int
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.home < 0:
+            raise ValueError("home must be a valid node index")
+
+
+class DataRegistry:
+    """Registry of all data handles of an application run."""
+
+    def __init__(self) -> None:
+        self._handles: List[DataHandle] = []
+
+    def register(self, name: str, nbytes: float, home: int) -> DataHandle:
+        """Register a new block owned by node ``home``."""
+        handle = DataHandle(hid=len(self._handles), name=name, nbytes=nbytes, home=home)
+        self._handles.append(handle)
+        return handle
+
+    def migrate(self, handle: DataHandle, new_home: int) -> None:
+        """Change the owner of ``handle`` for subsequently submitted tasks.
+
+        This is the paper's "informing the runtime about data movement":
+        following tasks writing the block will execute on ``new_home`` and
+        the actual copy is moved asynchronously by the runtime.
+        """
+        if new_home < 0:
+            raise ValueError("new_home must be a valid node index")
+        handle.home = new_home
+
+    def __len__(self) -> int:
+        return len(self._handles)
+
+    def __getitem__(self, hid: int) -> DataHandle:
+        return self._handles[hid]
+
+    def __iter__(self):
+        return iter(self._handles)
+
+    def sizes(self) -> Dict[int, float]:
+        """Mapping handle id -> nbytes (used by the simulator)."""
+        return {h.hid: h.nbytes for h in self._handles}
+
+    def total_bytes(self) -> float:
+        """Sum of all registered block sizes."""
+        return sum(h.nbytes for h in self._handles)

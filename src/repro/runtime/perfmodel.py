@@ -1,0 +1,86 @@
+"""Per-kernel performance models.
+
+StarPU schedules with history-based performance models that assume a
+similar duration for a given task type and input size (Section II).  We
+model the duration of a kernel on a worker as::
+
+    duration = overhead + flops / (worker_gflops * efficiency[name, kind] * 1e9)
+
+where ``efficiency`` captures how well each kernel kind exploits each
+resource (e.g. ``dgemm`` is near peak on GPUs, ``dpotrf`` is small and
+latency-bound so it is a poor fit for GPUs, and the covariance-matrix
+generation kernel ``dcmg`` runs on CPUs only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .task import Placement, Task
+
+#: Worker kinds.
+CPU, GPU = "cpu", "gpu"
+
+#: Default kernel efficiencies per (kernel name, worker kind).
+#: Values are fractions of the worker's nominal GFlop/s rate.
+DEFAULT_EFFICIENCY: Dict[Tuple[str, str], float] = {
+    ("gemm", CPU): 0.90, ("gemm", GPU): 1.00,
+    ("syrk", CPU): 0.85, ("syrk", GPU): 0.90,
+    ("trsm", CPU): 0.85, ("trsm", GPU): 0.85,
+    ("potrf", CPU): 0.70, ("potrf", GPU): 0.25,
+    ("dcmg", CPU): 1.00,          # generation: CPU only (Section II)
+    ("solve_trsm", CPU): 0.80, ("solve_trsm", GPU): 0.80,
+    ("gemv", CPU): 0.60, ("gemv", GPU): 0.70,
+    ("det", CPU): 0.50,
+    ("dot", CPU): 0.50,
+}
+
+
+@dataclass(frozen=True)
+class PerfModel:
+    """Duration model for kernels on heterogeneous workers.
+
+    Parameters
+    ----------
+    efficiency:
+        Mapping (kernel name, worker kind) -> efficiency fraction.  Kernels
+        missing an entry for a worker kind cannot run there.
+    overhead_s:
+        Fixed per-task runtime overhead (submission, scheduling, kernel
+        launch), seconds.
+    """
+
+    efficiency: Dict[Tuple[str, str], float] = field(
+        default_factory=lambda: dict(DEFAULT_EFFICIENCY)
+    )
+    overhead_s: float = 5e-5
+
+    def can_run(self, task: Task, worker_kind: str) -> bool:
+        """Whether ``task`` may execute on a worker of ``worker_kind``."""
+        if task.placement is Placement.CPU_ONLY and worker_kind != CPU:
+            return False
+        if task.placement is Placement.GPU_ONLY and worker_kind != GPU:
+            return False
+        return (task.name, worker_kind) in self.efficiency
+
+    def duration(self, task: Task, worker_kind: str, worker_gflops: float) -> float:
+        """Execution time of ``task`` on a worker, in seconds."""
+        if not self.can_run(task, worker_kind):
+            raise ValueError(f"task {task.name!r} cannot run on {worker_kind} workers")
+        if worker_gflops <= 0:
+            raise ValueError("worker_gflops must be positive")
+        eff = self.efficiency[(task.name, worker_kind)]
+        return self.overhead_s + task.flops / (worker_gflops * eff * 1e9)
+
+    def best_rate(self, name: str, cpu_gflops: float, gpu_gflops: float) -> float:
+        """Highest effective GFlop/s any single worker achieves for kernel
+        ``name`` given per-worker nominal rates.  Used by lower bounds."""
+        rates = []
+        if (name, CPU) in self.efficiency:
+            rates.append(cpu_gflops * self.efficiency[(name, CPU)])
+        if (name, GPU) in self.efficiency and gpu_gflops > 0:
+            rates.append(gpu_gflops * self.efficiency[(name, GPU)])
+        if not rates:
+            raise ValueError(f"kernel {name!r} runs nowhere")
+        return max(rates)

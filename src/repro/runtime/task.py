@@ -1,0 +1,74 @@
+"""Task records for the StarPU-like runtime.
+
+A task is one kernel invocation (e.g. one tile ``dgemm``).  Tasks are
+submitted sequentially (Sequential Task Flow); data dependencies are
+inferred from the access modes of their data handles by
+:mod:`repro.runtime.dag`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Placement(enum.Enum):
+    """Which worker kinds may execute a task."""
+
+    ANY = "any"
+    CPU_ONLY = "cpu"
+    GPU_ONLY = "gpu"
+
+
+@dataclass
+class Task:
+    """One runtime task.
+
+    Attributes
+    ----------
+    tid:
+        Dense task id assigned at submission.
+    name:
+        Kernel name (``"potrf"``, ``"trsm"``, ``"syrk"``, ``"gemm"``,
+        ``"dcmg"`` for generation, ...).  Used as the performance-model key.
+    phase:
+        Application phase the task belongs to (``"generation"``,
+        ``"factorization"``, ``"solve"``, ``"determinant"``, ``"dot"``).
+    flops:
+        Floating-point operations of the kernel.
+    node:
+        Node index the task executes on (owner-computes; assigned at
+        submission from the data distribution).
+    reads / writes:
+        Data handle ids accessed read-only / written (RW handles appear in
+        both tuples).
+    placement:
+        Worker-kind restriction (generation runs on CPUs only; Section II).
+    priority:
+        Larger runs earlier among simultaneously-ready tasks.
+    tag:
+        Free-form coordinates, e.g. ``(k, i, j)`` of a tile kernel.
+    """
+
+    tid: int
+    name: str
+    phase: str
+    flops: float
+    node: int
+    reads: Tuple[int, ...] = ()
+    writes: Tuple[int, ...] = ()
+    placement: Placement = Placement.ANY
+    priority: int = 0
+    tag: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.flops < 0:
+            raise ValueError("flops must be non-negative")
+        if self.node < 0:
+            raise ValueError("node must be a valid node index")
+
+    @property
+    def accesses(self) -> Tuple[int, ...]:
+        """All handle ids touched by the task (reads then writes)."""
+        return self.reads + self.writes

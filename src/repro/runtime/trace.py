@@ -1,0 +1,149 @@
+"""Execution trace analysis: Figure 1 style per-node utilization timelines.
+
+The paper's Figure 1 (generated with StarVZ) shows, per node, the
+aggregated resource utilization over time colored by application phase.
+:func:`utilization_timeline` computes the same quantity from simulator
+trace records: for time bins, the fraction of a node's workers busy with
+tasks of each phase.  :func:`render_ascii` draws it as terminal art.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..platform.cluster import Cluster
+from .simulator import SimulationResult, TaskRecord
+
+#: Single-character glyphs per phase for ASCII rendering.
+PHASE_GLYPHS = {
+    "generation": "g",
+    "factorization": "F",
+    "solve": "s",
+    "determinant": "d",
+    "dot": ".",
+}
+
+
+@dataclass
+class UtilizationTimeline:
+    """Binned per-node, per-phase utilization.
+
+    Attributes
+    ----------
+    bins:
+        Bin edges, shape (nbins + 1,).
+    phases:
+        Phase names, in first-seen order.
+    utilization:
+        Array of shape (n_nodes, n_phases, nbins): fraction of the node's
+        workers busy with that phase during the bin.
+    """
+
+    bins: np.ndarray
+    phases: List[str]
+    utilization: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the timeline."""
+        return self.utilization.shape[0]
+
+    def node_busy(self, node: int) -> np.ndarray:
+        """Total busy fraction per bin for one node (all phases)."""
+        return self.utilization[node].sum(axis=0)
+
+
+def utilization_timeline(
+    result: SimulationResult,
+    cluster: Cluster,
+    nbins: int = 80,
+) -> UtilizationTimeline:
+    """Compute a Figure 1 style utilization timeline from a traced run."""
+    if not result.task_records:
+        raise ValueError(
+            "simulation has no task records; run the Simulator with trace=True"
+        )
+    if nbins < 1:
+        raise ValueError("nbins must be >= 1")
+
+    horizon = max(result.makespan, 1e-12)
+    edges = np.linspace(0.0, horizon, nbins + 1)
+    width = edges[1] - edges[0]
+
+    phases: List[str] = []
+    index: Dict[str, int] = {}
+    for rec in result.task_records:
+        if rec.phase not in index:
+            index[rec.phase] = len(phases)
+            phases.append(rec.phase)
+
+    n_nodes = len(cluster)
+    workers_per_node = np.array(
+        [nt.node_type.gpus + nt.node_type.cpu_slots for nt in cluster], dtype=float
+    )
+    busy = np.zeros((n_nodes, len(phases), nbins))
+
+    for rec in result.task_records:
+        _accumulate(busy[rec.node][index[rec.phase]], rec, edges, width)
+
+    busy /= workers_per_node[:, None, None] * width
+    return UtilizationTimeline(bins=edges, phases=phases, utilization=busy)
+
+
+def _accumulate(row: np.ndarray, rec: TaskRecord, edges: np.ndarray, width: float) -> None:
+    """Add one task's busy time into the per-bin accumulator ``row``."""
+    nbins = len(row)
+    first = min(int(rec.start / width), nbins - 1)
+    last = min(int(rec.end / width), nbins - 1)
+    if first == last:
+        row[first] += rec.end - rec.start
+        return
+    row[first] += edges[first + 1] - rec.start
+    row[last] += rec.end - edges[last]
+    if last - first > 1:
+        row[first + 1 : last] += width
+
+
+def render_ascii(
+    timeline: UtilizationTimeline,
+    cluster: Cluster,
+    max_nodes: int = 16,
+) -> str:
+    """Render the timeline as ASCII art (one row per node).
+
+    Each column is one time bin; the glyph is the dominant phase in that
+    bin (uppercase when the node is > 50 % busy, lowercase otherwise, space
+    when idle).
+    """
+    lines = []
+    horizon = timeline.bins[-1]
+    lines.append(f"time: 0 .. {horizon:.2f}s, {len(timeline.bins) - 1} bins")
+    for node in range(min(timeline.n_nodes, max_nodes)):
+        util = timeline.utilization[node]          # (phases, bins)
+        total = util.sum(axis=0)
+        dominant = util.argmax(axis=0)
+        chars = []
+        for b in range(util.shape[1]):
+            if total[b] < 0.02:
+                chars.append(" ")
+                continue
+            glyph = PHASE_GLYPHS.get(timeline.phases[dominant[b]], "?")
+            chars.append(glyph.upper() if total[b] > 0.5 else glyph.lower())
+        label = cluster[node].hostname[:14]
+        lines.append(f"{label:>14} |{''.join(chars)}|")
+    if timeline.n_nodes > max_nodes:
+        lines.append(f"... ({timeline.n_nodes - max_nodes} more nodes)")
+    legend = "  ".join(f"{g}={p}" for p, g in PHASE_GLYPHS.items())
+    lines.append(f"legend: {legend} (uppercase: >50% busy)")
+    return "\n".join(lines)
+
+
+def phase_rows(result: SimulationResult) -> List[Tuple[str, float, float, float]]:
+    """Tabular phase summary: (phase, start, end, duration)."""
+    rows = []
+    for phase, (start, end) in sorted(result.phase_spans.items(), key=lambda kv: kv[1]):
+        rows.append((phase, start, end, end - start))
+    return rows

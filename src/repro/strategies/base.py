@@ -1,0 +1,187 @@
+"""Strategy interface and action space.
+
+A strategy interacts with the application loop through two calls per
+iteration: :meth:`Strategy.propose` returns the number of factorization
+nodes to use, and :meth:`Strategy.observe` feeds back the measured
+iteration duration.  The search space is the number of nodes ``n`` between
+some minimum and ``N``, always taking the ``n`` fastest (Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..platform.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ActionSpace:
+    """The discrete search space of a scenario.
+
+    Attributes
+    ----------
+    actions:
+        Allowed node counts, increasing (typically ``lo .. N``).
+    n_total:
+        Total nodes ``N`` (the application's default action).
+    group_boundaries:
+        Node counts at which each homogeneous group completes
+        (used by UCB-struct and the GP dummy variables).
+    lp_bound:
+        Optional callable ``n -> seconds``: the LP iteration lower bound
+        (used by GP-discontinuous).
+    """
+
+    actions: Tuple[int, ...]
+    n_total: int
+    group_boundaries: Tuple[int, ...] = ()
+    lp_bound: Optional[Callable[[int], float]] = None
+
+    def __post_init__(self) -> None:
+        acts = list(self.actions)
+        if not acts or acts != sorted(set(acts)) or acts[0] < 1:
+            raise ValueError("actions must be increasing positive node counts")
+        if acts[-1] != self.n_total:
+            raise ValueError("the largest action must be N (all nodes)")
+
+    @property
+    def lo(self) -> int:
+        """Smallest allowed node count."""
+        return self.actions[0]
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def clip(self, n: int) -> int:
+        """Nearest allowed action to ``n``."""
+        arr = np.asarray(self.actions)
+        return int(arr[np.abs(arr - n).argmin()])
+
+    @classmethod
+    def from_cluster(
+        cls,
+        cluster: Cluster,
+        lo: int = 1,
+        lp_bound: Optional[Callable[[int], float]] = None,
+    ) -> "ActionSpace":
+        """Action space over a cluster: counts ``lo .. N``."""
+        n = len(cluster)
+        lo = max(1, min(lo, n))
+        return cls(
+            actions=tuple(range(lo, n + 1)),
+            n_total=n,
+            group_boundaries=cluster.group_boundaries,
+            lp_bound=lp_bound,
+        )
+
+
+@dataclass
+class Strategy:
+    """Base class for exploration strategies.
+
+    Subclasses implement :meth:`_next_action`; bookkeeping (history,
+    per-action statistics, iteration counter) lives here.
+    """
+
+    space: ActionSpace
+    seed: int = 0
+    name: str = field(default="strategy", init=False)
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+        self.xs: List[int] = []
+        self.ys: List[float] = []
+        self._stats: Dict[int, List[float]] = {}
+
+    # -- public protocol ---------------------------------------------------------
+
+    def propose(self) -> int:
+        """Node count to use for the next iteration."""
+        n = int(self._next_action())
+        if n not in self._action_set():
+            raise RuntimeError(
+                f"{self.name} proposed {n}, outside the action space"
+            )
+        return n
+
+    def observe(self, n: int, duration: float) -> None:
+        """Feed back the measured duration of an iteration run with ``n``."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        self.xs.append(int(n))
+        self.ys.append(float(duration))
+        self._stats.setdefault(int(n), []).append(float(duration))
+        self._after_observe(int(n), float(duration))
+
+    # -- hooks ----------------------------------------------------------------------
+
+    def _next_action(self) -> int:
+        raise NotImplementedError
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        """Optional subclass hook."""
+
+    def _action_set(self) -> frozenset:
+        return frozenset(self.space.actions)
+
+    # -- shared helpers ---------------------------------------------------------------
+
+    @property
+    def iteration(self) -> int:
+        """Number of completed observations."""
+        return len(self.ys)
+
+    def mean_duration(self, n: int) -> float:
+        """Mean observed duration of action ``n``."""
+        values = self._stats.get(n)
+        if not values:
+            raise KeyError(f"action {n} has no observations")
+        return float(np.mean(values))
+
+    def times_selected(self, n: int) -> int:
+        """How often action ``n`` has been measured so far."""
+        return len(self._stats.get(n, ()))
+
+    def best_observed(self) -> int:
+        """Action with the lowest mean observed duration."""
+        if not self._stats:
+            raise RuntimeError("no observations yet")
+        return min(self._stats, key=lambda n: (self.mean_duration(n), n))
+
+
+@dataclass
+class AllNodesStrategy(Strategy):
+    """The application's standard behaviour: always use all nodes.
+
+    The Figure 6 baseline (the top dashed line).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "All-nodes"
+
+    def _next_action(self) -> int:
+        return self.space.n_total
+
+
+@dataclass
+class OracleStrategy(Strategy):
+    """Clairvoyant baseline: always plays a given action.
+
+    With the best action passed in, this is the Figure 6 bottom dashed
+    line ("the best option when knowing the best configuration upfront").
+    """
+
+    best_action: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "Oracle"
+        if self.best_action not in self.space.actions:
+            raise ValueError("best_action must be in the action space")
+
+    def _next_action(self) -> int:
+        return self.best_action

@@ -1,0 +1,109 @@
+"""Brent's method over the discretized node-count domain.
+
+The paper uses R's ``optim`` Brent as the classical continuous 1-D
+minimizer (Section IV-B): golden-section search with inverse parabolic
+interpolation, no gradients.  We implement the textbook algorithm as a
+coroutine and round each query to the nearest allowed action.  After
+convergence the strategy exploits the best action it has observed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from .base import Strategy
+
+_GOLD = 0.3819660112501051  # (3 - sqrt(5)) / 2
+
+
+def brent_minimizer(
+    lo: float, hi: float, tol: float = 1e-2, max_iter: int = 60
+) -> Generator[float, float, None]:
+    """Coroutine implementing Brent minimization on [lo, hi].
+
+    Yields query points; the caller sends back function values.  Stops
+    (returns) once the bracket is smaller than the tolerance.
+    """
+    if not lo < hi:
+        raise ValueError("need lo < hi")
+    a, b = lo, hi
+    x = w = v = a + _GOLD * (b - a)
+    fx = yield x
+    fw = fv = fx
+    d = e = 0.0
+    for _ in range(max_iter):
+        m = 0.5 * (a + b)
+        tol1 = tol * abs(x) + 1e-10
+        tol2 = 2.0 * tol1
+        if abs(x - m) <= tol2 - 0.5 * (b - a):
+            return
+        use_golden = True
+        if abs(e) > tol1:
+            # Inverse parabolic interpolation through (v, w, x).
+            r = (x - w) * (fx - fv)
+            q = (x - v) * (fx - fw)
+            p = (x - v) * q - (x - w) * r
+            q = 2.0 * (q - r)
+            if q > 0:
+                p = -p
+            q = abs(q)
+            if abs(p) < abs(0.5 * q * e) and q * (a - x) < p < q * (b - x):
+                e, d = d, p / q
+                u = x + d
+                if u - a < tol2 or b - u < tol2:
+                    d = math.copysign(tol1, m - x)
+                use_golden = False
+        if use_golden:
+            e = (b if x < m else a) - x
+            d = _GOLD * e
+        u = x + (d if abs(d) >= tol1 else math.copysign(tol1, d))
+        fu = yield u
+        if fu <= fx:
+            if u < x:
+                b = x
+            else:
+                a = x
+            v, w, x = w, x, u
+            fv, fw, fx = fw, fx, fu
+        else:
+            if u < x:
+                a = u
+            else:
+                b = u
+            if fu <= fw or w == x:
+                v, w = w, u
+                fv, fw = fw, fu
+            elif fu <= fv or v in (x, w):
+                v, fv = u, fu
+
+
+@dataclass
+class BrentStrategy(Strategy):
+    """Brent minimization over node counts (``Brent`` in the paper)."""
+
+    tol: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "Brent"
+        self._gen: Optional[Generator[float, float, None]] = brent_minimizer(
+            float(self.space.lo), float(self.space.n_total), tol=self.tol
+        )
+        self._query = self._gen.send(None)
+        self._done = False
+
+    def _next_action(self) -> int:
+        if self._done:
+            return self.best_observed()
+        return self.space.clip(round(self._query))
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self._done:
+            return
+        try:
+            self._query = self._gen.send(duration)
+        except StopIteration:
+            self._done = True
+            self._gen = None

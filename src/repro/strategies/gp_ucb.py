@@ -1,0 +1,135 @@
+"""GP-UCB: Gaussian-process bandit optimization (Section IV-D).
+
+The standard GP-UCB of Srinivas et al. [20], adapted to the problem:
+
+* parsimonious initialization instead of a space-filling design -- the
+  first iteration uses all ``N`` nodes (the application default), the
+  second the left-most configuration, and the next two replicate the
+  middle point (replication feeds the noise estimator);
+* hyper-parameters (alpha, theta) re-estimated by maximum likelihood at
+  every refit ("in practice, they are often estimated from the data with
+  an ML approach"), which is exactly what makes plain GP-UCB overconfident
+  on discontinuous scenarios;
+* acquisition: ``argmin mu(x) - sqrt(beta_t) sigma(x)`` over the allowed
+  actions with beta_t growing logarithmically (Eq. 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..gp import ConstantTrend, Exponential, GaussianProcess, estimate_noise_variance
+from .base import Strategy
+
+#: Confidence parameter of the beta_t schedule.
+DELTA = 0.1
+
+
+def beta_t(t: int, n_actions: int, delta: float = DELTA) -> float:
+    """Logarithmically growing exploration factor (Srinivas et al.)."""
+    if t < 1 or n_actions < 1:
+        raise ValueError("t and n_actions must be >= 1")
+    return 2.0 * math.log(n_actions * t**2 * math.pi**2 / (6.0 * delta))
+
+
+@dataclass
+class GPUCBStrategy(Strategy):
+    """Plain GP-UCB over iteration durations."""
+
+    noise_fallback: float = 1e-4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "GP-UCB"
+        self.gp: Optional[GaussianProcess] = None
+        self._init_queue = self._initial_design()
+        self._warm_theta: Optional[float] = None
+
+    # -- initialization -----------------------------------------------------------
+
+    def _initial_design(self) -> List[int]:
+        """The paper's four-point start: N, left-most, middle twice."""
+        n = self.space.n_total
+        lo = self.space.lo
+        mid = self.space.clip((lo + n) // 2)
+        return [n, lo, mid, mid]
+
+    # -- model ---------------------------------------------------------------------
+
+    def _allowed_actions(self) -> np.ndarray:
+        return np.asarray(self.space.actions, dtype=float)
+
+    def _targets(self) -> np.ndarray:
+        """Values the GP models (durations here; residuals in subclasses)."""
+        return np.asarray(self.ys, dtype=float)
+
+    def _make_gp(self, noise_var: float, targets: np.ndarray) -> GaussianProcess:
+        # Warm-start the MLE from the previous theta: repeated refits cost
+        # one optimizer run instead of a multi-start.
+        starts = (self._warm_theta,) if self._warm_theta else None
+        return GaussianProcess(
+            kernel=Exponential(theta=max(1.0, len(self.space) / 4.0)),
+            trend=ConstantTrend(),
+            noise_var=noise_var,
+            optimize=True,
+            theta_starts=starts,
+        )
+
+    def _baseline(self, x: np.ndarray) -> np.ndarray:
+        """Deterministic component added back to the GP prediction."""
+        return np.zeros_like(np.asarray(x, dtype=float))
+
+    def _fit_window(self) -> slice:
+        """Observations used by the fit (subclasses may forget old data)."""
+        return slice(None)
+
+    def refit(self) -> GaussianProcess:
+        """Fit the surrogate on the (windowed) observations so far."""
+        window = self._fit_window()
+        xs = self.xs[window]
+        targets = self._targets()[window]
+        noise = estimate_noise_variance(xs, targets, fallback=self.noise_fallback)
+        gp = self._make_gp(noise, targets)
+        gp.fit(np.asarray(xs, dtype=float), targets)
+        self.gp = gp
+        if gp.fit_ is not None and gp.optimize:
+            self._warm_theta = gp.fit_.theta
+        return gp
+
+    def surrogate(self, grid: Optional[np.ndarray] = None):
+        """Predicted (mean, sd) over ``grid`` -- the Figure 4 curves.
+
+        Includes the deterministic baseline, so the mean is directly
+        comparable to iteration durations.
+        """
+        if grid is None:
+            grid = self._allowed_actions()
+        gp = self.gp if self.gp is not None else self.refit()
+        mean, sd = gp.predict(grid)
+        return mean + self._baseline(grid), sd
+
+    # -- acquisition ------------------------------------------------------------------
+
+    def current_beta(self) -> float:
+        """beta_t for the current iteration count."""
+        return beta_t(max(1, self.iteration), len(self.space))
+
+    def _next_action(self) -> int:
+        while self._init_queue:
+            candidate = self._init_queue[0]
+            if candidate in self._action_set():
+                return candidate
+            self._init_queue.pop(0)
+        gp = self.refit()
+        grid = self._allowed_actions()
+        acq = gp.lower_confidence_bound(grid, self.current_beta())
+        acq = acq + self._baseline(grid)
+        return int(grid[int(np.argmin(acq))])
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self._init_queue and self._init_queue[0] == n:
+            self._init_queue.pop(0)

@@ -1,0 +1,105 @@
+"""Naive heuristics: divide-and-conquer dichotomy and Right-Left walk.
+
+Both are the paper's comparison baselines (Section IV-A).  They converge
+quickly on smooth low-variance curves but are easily misled by noise and
+discontinuities -- which Table I and Figure 6 then demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .base import Strategy
+
+
+@dataclass
+class DichotomyStrategy(Strategy):
+    """Recursive binary search (``DC`` in the paper).
+
+    At each step the current interval is split in two; the middle point of
+    each half is measured once and the half with the lower measurement
+    becomes the new interval.  When the interval is exhausted the strategy
+    exploits the best action observed.
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "DC"
+        self._lo = 0
+        self._hi = len(self.space.actions) - 1  # indices into actions
+        self._pending: List[int] = []           # action indices awaiting measure
+        self._measured: List[Tuple[int, float]] = []
+        self._done = False
+        self._plan_step()
+
+    def _plan_step(self) -> None:
+        """Queue the two half-midpoints of the current interval."""
+        lo, hi = self._lo, self._hi
+        if hi - lo < 1:
+            self._done = True
+            return
+        mid = (lo + hi) // 2
+        q1 = (lo + mid) // 2
+        q2 = (mid + 1 + hi) // 2
+        self._pending = [q1, q2] if q1 != q2 else [q1]
+        self._measured = []
+
+    def _next_action(self) -> int:
+        if self._done:
+            return self.best_observed()
+        return self.space.actions[self._pending[0]]
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self._done:
+            return
+        idx = self._pending.pop(0)
+        self._measured.append((idx, duration))
+        if self._pending:
+            return
+        # Both halves measured: recurse into the better one.
+        if len(self._measured) == 1:
+            self._done = True
+            return
+        (i1, y1), (i2, y2) = self._measured
+        mid = (self._lo + self._hi) // 2
+        if y1 <= y2:
+            self._hi = mid
+        else:
+            self._lo = mid + 1
+        self._plan_step()
+
+
+@dataclass
+class RightLeftStrategy(Strategy):
+    """Walk left from all-nodes while the left neighbour measures lower.
+
+    Assumes the best candidate is near "use all the machines" and that the
+    curve is well behaved; stops at the first non-improving step (so noise
+    or local minima stop it early, as the paper observes in (a) and (p)).
+    """
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "Right-Left"
+        self._idx = len(self.space.actions) - 1
+        self._last: Optional[float] = None
+        self._settled: Optional[int] = None
+
+    def _next_action(self) -> int:
+        if self._settled is not None:
+            return self._settled
+        return self.space.actions[self._idx]
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self._settled is not None:
+            return
+        if self._last is not None and duration >= self._last:
+            # The step left did not improve: settle on the previous point.
+            self._settled = self.space.actions[self._idx + 1]
+            return
+        if self._idx == 0:
+            self._settled = self.space.actions[0]
+            return
+        self._last = duration
+        self._idx -= 1

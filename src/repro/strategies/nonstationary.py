@@ -1,0 +1,92 @@
+"""Non-stationary adaptation (the paper's future work, Section VIII).
+
+"Further investigation is required to propose or adapt the GP strategies
+to non-stationary scenarios."  This module implements the natural
+adaptation: a **sliding-window** GP-discontinuous that only trusts the
+most recent observations, so when the platform drifts (network
+degradation, sharing with other jobs, frequency changes) the surrogate
+forgets the stale regime and re-converges.
+
+Two changes over :class:`GPDiscontinuousStrategy`:
+
+* the GP is fitted on the last ``window`` observations only;
+* the LP bound pruning is refreshed from the *recent* all-nodes
+  behaviour (and the left bound is re-derived when the recent durations
+  drift away from the old ones), instead of being frozen after the first
+  iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .gp_discontinuous import GPDiscontinuousStrategy
+
+
+@dataclass
+class WindowedGPDiscontinuousStrategy(GPDiscontinuousStrategy):
+    """GP-discontinuous with a sliding observation window.
+
+    Parameters
+    ----------
+    window:
+        Number of most-recent observations the surrogate is fitted on.
+    drift_threshold:
+        Relative change of the recent mean duration (for the same
+        action) that triggers a reset of the LP bound pruning.
+    """
+
+    window: int = 40
+    drift_threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "GP-discontinuous-windowed"
+        if self.window < 5:
+            raise ValueError("window must be >= 5")
+
+    def _fit_window(self) -> slice:
+        return slice(-self.window, None)
+
+    def _recent_mean(self, n: int) -> Optional[float]:
+        recent = [
+            y for x, y in zip(self.xs[-self.window:], self.ys[-self.window:])
+            if x == n
+        ]
+        return float(np.mean(recent)) if recent else None
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        super()._after_observe(n, duration)
+        # Detect drift: the recent behaviour of an action departs from its
+        # long-run mean -> stale LP pruning may hide the new optimum.
+        recent = self._recent_mean(n)
+        overall = self.mean_duration(n)
+        if (
+            recent is not None
+            and self.times_selected(n) >= 4
+            and abs(recent - overall) > self.drift_threshold * max(overall, 1e-9)
+        ):
+            self._reset_bound()
+
+    def _reset_bound(self) -> None:
+        """Re-derive the left pruning point from recent data."""
+        self._bound_left = None
+        if not self.use_bound:
+            return
+        recent_n = self._recent_mean(self.space.n_total)
+        reference = (
+            recent_n
+            if recent_n is not None
+            else max(self.ys[-self.window:], default=None)
+        )
+        if reference is None:
+            return
+        for n in self.space.actions:
+            if self.space.lp_bound(n) < reference:
+                self._bound_left = n
+                break
+        else:
+            self._bound_left = self.space.n_total

@@ -1,0 +1,89 @@
+"""Registry of the paper's seven exploration strategies.
+
+Names and grouping follow Figure 6's x-axis and colour legend:
+
+=================  ===============
+Strategy           Group
+=================  ===============
+DC                 Heuristics
+Right-Left         Heuristics
+Brent              Classical opt
+UCB                Multi-armed
+UCB-struct         Multi-armed
+GP-UCB             GP
+GP-discontinuous   GP
+=================  ===============
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .bandits import UCBStrategy, UCBStructStrategy
+from .base import ActionSpace, AllNodesStrategy, OracleStrategy, Strategy
+from .brent import BrentStrategy
+from .gp_discontinuous import GPDiscontinuousStrategy
+from .gp_ucb import GPUCBStrategy
+from .naive import DichotomyStrategy, RightLeftStrategy
+
+#: Factory type: (space, seed) -> Strategy.
+StrategyFactory = Callable[[ActionSpace, int], Strategy]
+
+_REGISTRY: Dict[str, StrategyFactory] = {
+    "DC": lambda space, seed: DichotomyStrategy(space, seed),
+    "Right-Left": lambda space, seed: RightLeftStrategy(space, seed),
+    "Brent": lambda space, seed: BrentStrategy(space, seed),
+    "UCB": lambda space, seed: UCBStrategy(space, seed),
+    "UCB-struct": lambda space, seed: UCBStructStrategy(space, seed),
+    "GP-UCB": lambda space, seed: GPUCBStrategy(space, seed),
+    "GP-discontinuous": lambda space, seed: GPDiscontinuousStrategy(space, seed),
+}
+
+#: Figure 6 ordering.
+STRATEGY_ORDER = (
+    "DC",
+    "Right-Left",
+    "Brent",
+    "UCB",
+    "UCB-struct",
+    "GP-UCB",
+    "GP-discontinuous",
+)
+
+#: Figure 6 colour groups.
+STRATEGY_GROUPS: Dict[str, str] = {
+    "DC": "Heuristics",
+    "Right-Left": "Heuristics",
+    "Brent": "Classical opt",
+    "UCB": "Multi-armed",
+    "UCB-struct": "Multi-armed",
+    "GP-UCB": "GP",
+    "GP-discontinuous": "GP",
+}
+
+
+def strategy_names() -> List[str]:
+    """The seven strategy names in Figure 6 order."""
+    return list(STRATEGY_ORDER)
+
+
+def make_strategy(name: str, space: ActionSpace, seed: int = 0) -> Strategy:
+    """Instantiate a strategy by its paper name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(space, seed)
+
+
+__all__ = [
+    "AllNodesStrategy",
+    "OracleStrategy",
+    "STRATEGY_GROUPS",
+    "STRATEGY_ORDER",
+    "StrategyFactory",
+    "make_strategy",
+    "strategy_names",
+]

@@ -1,0 +1,130 @@
+"""Stochastic search baselines the paper tried and discarded.
+
+Section IV-B: "We also investigated Stochastic Approximation [16] and
+Simulated Annealing (SANN from optim), but they achieved bad results
+because they are not parsimonious, so we refrain from reporting them."
+
+Both are implemented here so that the claim is reproducible: they spend
+their measurements on random perturbations instead of exploiting the
+problem's structure, which on a budget of ~127 iterations leaves them
+well behind the GP strategies (see ``benchmarks/bench_discarded.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .base import Strategy
+
+
+@dataclass
+class SimulatedAnnealingStrategy(Strategy):
+    """SANN-style annealing over the node-count domain.
+
+    Random neighbour proposals accepted with the Metropolis rule under a
+    geometric temperature schedule; after the budgeted annealing steps it
+    exploits the best action seen.
+    """
+
+    initial_temperature: float = 5.0
+    cooling: float = 0.95
+    step_span: int = 4
+    anneal_iterations: int = 100
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "SANN"
+        if not 0 < self.cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        if self.step_span < 1:
+            raise ValueError("step_span must be >= 1")
+        self._current: Optional[int] = None
+        self._current_y: Optional[float] = None
+        self._temperature = self.initial_temperature
+        self._pending: Optional[int] = None
+
+    def _neighbour(self, n: int) -> int:
+        lo, hi = self.space.lo, self.space.n_total
+        step = int(self.rng.integers(1, self.step_span + 1))
+        if self.rng.random() < 0.5:
+            step = -step
+        return self.space.clip(min(max(n + step, lo), hi))
+
+    def _next_action(self) -> int:
+        if self.iteration >= self.anneal_iterations and self._stats:
+            return self.best_observed()
+        if self._current is None:
+            self._pending = self.space.n_total  # start from the default
+        else:
+            self._pending = self._neighbour(self._current)
+        return self._pending
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self.iteration > self.anneal_iterations:
+            return
+        if self._current is None:
+            self._current, self._current_y = n, duration
+            return
+        delta = duration - self._current_y
+        accept = delta <= 0 or self.rng.random() < math.exp(
+            -delta / max(self._temperature, 1e-9)
+        )
+        if accept:
+            self._current, self._current_y = n, duration
+        self._temperature *= self.cooling
+
+
+@dataclass
+class StochasticApproximationStrategy(Strategy):
+    """Kiefer-Wolfowitz stochastic approximation (finite differences).
+
+    Estimates the slope from paired measurements at ``x +- c_k`` and
+    descends with gain ``a_k``; every iteration costs a real application
+    iteration, so the gradient estimation alone burns the budget -- the
+    non-parsimony the paper calls out.
+    """
+
+    a0: float = 4.0
+    c0: float = 2.0
+    sa_iterations: int = 100
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.name = "StochasticApprox"
+        self._x = float(self.space.n_total)  # start from the default
+        self._k = 0
+        self._phase = 0           # 0: measure x+c, 1: measure x-c
+        self._y_plus: Optional[float] = None
+
+    def _gains(self):
+        k = self._k + 1
+        a_k = self.a0 / k
+        c_k = max(self.c0 / k**0.25, 1.0)
+        return a_k, c_k
+
+    def _probe(self, x: float) -> int:
+        return self.space.clip(round(x))
+
+    def _next_action(self) -> int:
+        if self.iteration >= self.sa_iterations and self._stats:
+            return self.best_observed()
+        _, c_k = self._gains()
+        if self._phase == 0:
+            return self._probe(self._x + c_k)
+        return self._probe(self._x - c_k)
+
+    def _after_observe(self, n: int, duration: float) -> None:
+        if self.iteration > self.sa_iterations:
+            return
+        a_k, c_k = self._gains()
+        if self._phase == 0:
+            self._y_plus = duration
+            self._phase = 1
+            return
+        gradient = (self._y_plus - duration) / (2.0 * c_k)
+        self._x -= a_k * gradient
+        self._x = min(max(self._x, self.space.lo), self.space.n_total)
+        self._phase = 0
+        self._k += 1

@@ -1,0 +1,5 @@
+"""ASCII visualization helpers for terminals."""
+
+from .ascii import heatmap, line_plot
+
+__all__ = ["heatmap", "line_plot"]

@@ -1,0 +1,98 @@
+"""Terminal visualization: line charts and heatmaps in ASCII.
+
+Used by the benchmark harness and examples to render paper-figure shapes
+directly in the terminal (no plotting dependencies are available
+offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_GLYPHS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """ASCII scatter/line plot of one or more series over shared x."""
+    if not series:
+        raise ValueError("need at least one series")
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("x must not be empty")
+    ys = {k: np.asarray(v, dtype=float) for k, v in series.items()}
+    for k, v in ys.items():
+        if v.shape != x.shape:
+            raise ValueError(f"series {k!r} length does not match x")
+
+    all_y = np.concatenate([v[np.isfinite(v)] for v in ys.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for si, (name, v) in enumerate(ys.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for xv, yv in zip(x, v):
+            if not np.isfinite(yv):
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[height - 1 - row][col] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_hi:8.1f} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_lo:8.1f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"{x_lo:<10.0f}{x_label:^{max(width - 20, 0)}}{x_hi:>10.0f}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(ys)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    grid: np.ndarray,
+    row_labels: Optional[Sequence] = None,
+    col_labels: Optional[Sequence] = None,
+    invert: bool = True,
+) -> str:
+    """ASCII heatmap; with ``invert`` low values render dark (best = @)."""
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("grid must be 2-D")
+    lo, hi = float(np.nanmin(grid)), float(np.nanmax(grid))
+    span = max(hi - lo, 1e-12)
+
+    def shade(v: float) -> str:
+        t = (v - lo) / span
+        if invert:
+            t = 1.0 - t
+        return _SHADES[int(t * (len(_SHADES) - 1))]
+
+    lines = []
+    for ri, row in enumerate(grid):
+        label = f"{row_labels[ri]:>6} " if row_labels is not None else ""
+        lines.append(label + "".join(shade(v) for v in row))
+    if col_labels is not None:
+        first, last = col_labels[0], col_labels[-1]
+        pad = " " * (7 if row_labels is not None else 0)
+        lines.append(pad + f"{first}{' ' * max(grid.shape[1] - len(str(first)) - len(str(last)), 0)}{last}")
+    lines.append(f"scale: {'@' if invert else ' '}={lo:.1f}s ... {' ' if invert else '@'}={hi:.1f}s")
+    return "\n".join(lines)

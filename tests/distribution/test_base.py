@@ -1,0 +1,100 @@
+"""Tests for distribution helpers: shares, WRR, balance stats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    integer_shares,
+    load_imbalance,
+    tile_counts,
+    weighted_round_robin,
+)
+
+positive_weights = st.lists(
+    st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestIntegerShares:
+    def test_exact_split(self):
+        assert integer_shares([1, 1, 2], 4) == [1, 1, 2]
+
+    def test_sum_preserved(self):
+        assert sum(integer_shares([3, 7, 11], 23)) == 23
+
+    @settings(max_examples=100, deadline=None)
+    @given(weights=positive_weights, total=st.integers(min_value=1, max_value=500))
+    def test_property_sum_and_positivity(self, weights, total):
+        shares = integer_shares(weights, total)
+        assert sum(shares) == total
+        assert all(s >= 0 for s in shares)
+        if total >= len(weights):
+            assert all(s >= 1 for s in shares)
+
+    def test_every_node_represented(self):
+        # A tiny weight still receives one unit when total allows.
+        shares = integer_shares([100.0, 0.1], 10)
+        assert shares[1] >= 1
+
+    def test_proportionality(self):
+        shares = integer_shares([1.0, 3.0], 100)
+        assert shares == [25, 75]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            integer_shares([], 5)
+        with pytest.raises(ValueError):
+            integer_shares([1.0, -1.0], 5)
+        with pytest.raises(ValueError):
+            integer_shares([1.0], 0)
+
+
+class TestWeightedRoundRobin:
+    def test_uniform_is_round_robin(self):
+        seq = weighted_round_robin([1, 1, 1], 6)
+        assert sorted(seq[:3]) == [0, 1, 2]
+        assert sorted(seq[3:]) == [0, 1, 2]
+
+    def test_composition_matches_weights(self):
+        seq = weighted_round_robin([1, 3], 100)
+        assert seq.count(0) == 25
+        assert seq.count(1) == 75
+
+    def test_smooth_interleaving(self):
+        """The heavy node never waits long: with weights 3:1 node 0 appears
+        in every window of 2."""
+        seq = weighted_round_robin([3, 1], 40)
+        for a, b in zip(seq, seq[1:]):
+            assert 0 in (a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(weights=positive_weights, length=st.integers(min_value=0, max_value=200))
+    def test_property_valid_indices(self, weights, length):
+        seq = weighted_round_robin(weights, length)
+        assert len(seq) == length
+        assert all(0 <= s < len(weights) for s in seq)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            weighted_round_robin([], 3)
+        with pytest.raises(ValueError):
+            weighted_round_robin([1.0], -1)
+
+
+class TestBalanceStats:
+    def test_tile_counts_cover_lower_triangle(self):
+        counts = tile_counts(lambda i, j: 0, t=5)
+        assert counts == {0: 15}
+
+    def test_load_imbalance_perfect(self):
+        # Two equal nodes, alternating rows: near-perfect balance.
+        dist = lambda i, j: i % 2
+        imb = load_imbalance(dist, t=8, weights=[1.0, 1.0])
+        assert imb == pytest.approx(1.0, rel=0.15)
+
+    def test_load_imbalance_detects_skew(self):
+        dist = lambda i, j: 0  # everything on node 0 of 2
+        assert load_imbalance(dist, t=6, weights=[1.0, 1.0]) == pytest.approx(2.0)

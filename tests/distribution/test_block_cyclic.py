@@ -1,0 +1,58 @@
+"""Tests for classical block-cyclic distributions."""
+
+import pytest
+
+from repro.distribution import grid_shape, one_d_cyclic, tile_counts, two_d_block_cyclic
+
+
+class TestGridShape:
+    @pytest.mark.parametrize(
+        "n,expected", [(1, (1, 1)), (4, (2, 2)), (6, (2, 3)), (12, (3, 4)), (7, (1, 7))]
+    )
+    def test_most_square(self, n, expected):
+        assert grid_shape(n) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+
+class TestOneDCyclic:
+    def test_rows_cycle(self):
+        dist = one_d_cyclic(3)
+        assert [dist(i, 0) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_column_independent(self):
+        dist = one_d_cyclic(4)
+        assert dist(5, 0) == dist(5, 3)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            one_d_cyclic(0)
+
+
+class TestTwoDBlockCyclic:
+    def test_all_nodes_used(self):
+        dist = two_d_block_cyclic(4)
+        counts = tile_counts(dist, t=8)
+        assert set(counts) == {0, 1, 2, 3}
+
+    def test_pattern_periodicity(self):
+        dist = two_d_block_cyclic(6)  # grid 2x3
+        assert dist(0, 0) == dist(2, 3)
+        assert dist(1, 2) == dist(3, 5)
+
+    def test_explicit_shape(self):
+        dist = two_d_block_cyclic(6, shape=(3, 2))
+        assert dist(0, 0) == 0
+        assert dist(1, 0) == 2  # row 1 of a 3x2 grid starts at node 2
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            two_d_block_cyclic(6, shape=(2, 2))
+
+    def test_roughly_balanced_on_square_count(self):
+        counts = tile_counts(two_d_block_cyclic(4), t=16)
+        total = sum(counts.values())
+        for c in counts.values():
+            assert c >= total / 4 * 0.5  # lower triangle skews, but bounded

@@ -1,0 +1,102 @@
+"""Tests for the Beaumont-style column-slice heterogeneous distribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    column_slice_distribution,
+    column_slice_pattern,
+    tile_counts,
+)
+
+
+class TestPatternStructure:
+    def test_square_pattern(self):
+        pattern = column_slice_pattern([1.0] * 9)
+        assert len(pattern) == len(pattern[0])
+
+    def test_all_cells_valid_nodes(self):
+        pattern = column_slice_pattern([3.0, 2.0, 1.0, 1.0])
+        flat = {c for row in pattern for c in row}
+        assert flat <= {0, 1, 2, 3}
+
+    def test_columns_are_slice_coherent(self):
+        """Every pattern column belongs to one slice: the nodes appearing
+        in a column never appear in a different column group."""
+        weights = [4.0, 4.0, 1.0, 1.0]
+        pattern = column_slice_pattern(weights)
+        p = len(pattern)
+        col_nodes = [frozenset(pattern[r][c] for r in range(p)) for c in range(p)]
+        groups = {}
+        for c, nodes in enumerate(col_nodes):
+            groups.setdefault(nodes, []).append(c)
+        for cols in groups.values():
+            assert cols == list(range(cols[0], cols[-1] + 1))
+
+    def test_row_consumers_scale_like_sqrt_n(self):
+        """Distinct nodes per pattern row ~ number of slices ~ sqrt(n)."""
+        n = 36
+        pattern = column_slice_pattern([1.0] * n)
+        per_row = [len(set(row)) for row in pattern]
+        assert max(per_row) <= 2 * int(np.ceil(np.sqrt(n))) + 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            column_slice_pattern([])
+        with pytest.raises(ValueError):
+            column_slice_pattern([1.0, -2.0])
+
+
+class TestDistributionBalance:
+    def test_tile_share_proportional_to_weight(self):
+        weights = [8.0, 4.0, 2.0, 2.0]
+        dist = column_slice_distribution(weights)
+        counts = tile_counts(dist, t=48)
+        total = sum(counts.values())
+        for node, w in enumerate(weights):
+            share = counts.get(node, 0) / total
+            assert share == pytest.approx(w / sum(weights), abs=0.08)
+
+    def test_tiny_weight_rounds_to_zero_not_inflated(self):
+        """A node whose fair share is far below one pattern cell owns no
+        tiles rather than an inflated share (avoids artificial cliffs)."""
+        weights = [100.0] * 8 + [0.1]
+        dist = column_slice_distribution(weights)
+        counts = tile_counts(dist, t=40)
+        total = sum(counts.values())
+        share = counts.get(8, 0) / total
+        assert share <= 0.01
+
+    def test_moderate_small_weight_gets_some_tiles(self):
+        """The paper's slow nodes (a few % of the weight) do receive tiles
+        -- that is what creates the critical-path discontinuities."""
+        weights = [10.0] * 6 + [1.0] * 2
+        dist = column_slice_distribution(weights)
+        counts = tile_counts(dist, t=40)
+        assert counts.get(6, 0) + counts.get(7, 0) > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_valid_owners(self, n, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.5, 10.0, size=n).tolist()
+        dist = column_slice_distribution(weights)
+        for j in range(0, 12, 3):
+            for i in range(j, 12, 4):
+                assert 0 <= dist(i, j) < n
+
+    def test_deterministic(self):
+        d1 = column_slice_distribution([2.0, 1.0, 1.0])
+        d2 = column_slice_distribution([2.0, 1.0, 1.0])
+        assert all(d1(i, j) == d2(i, j) for j in range(9) for i in range(j, 9))
+
+    def test_changing_weights_reshapes(self):
+        d1 = column_slice_distribution([1.0] * 6)
+        d2 = column_slice_distribution([1.0] * 7)
+        diff = sum(d1(i, j) != d2(i, j) for j in range(12) for i in range(j, 12))
+        assert diff > 0

@@ -1,0 +1,120 @@
+"""Tests for the LP lower bound (allocation + closed-form oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import LPBoundCalculator, lp_task_allocation
+from repro.platform import get_scenario
+from repro.runtime import PerfModel
+from repro.workload import Workload
+
+
+class TestLPTaskAllocation:
+    def test_single_node_single_kernel(self):
+        res = lp_task_allocation(np.array([[2.0]]), [5])
+        assert res.makespan == pytest.approx(10.0)
+        assert res.allocation[0, 0] == pytest.approx(5.0)
+
+    def test_two_equal_nodes_split_evenly(self):
+        res = lp_task_allocation(np.array([[1.0], [1.0]]), [10])
+        assert res.makespan == pytest.approx(5.0)
+
+    def test_heterogeneous_speeds_closed_form(self):
+        """With one divisible kernel the LP equals W / sum(1/d_i)."""
+        d = np.array([[1.0], [2.0], [4.0]])
+        res = lp_task_allocation(d, [7])
+        rate = 1.0 + 0.5 + 0.25
+        assert res.makespan == pytest.approx(7.0 / rate)
+
+    def test_multi_kernel_proportional_split(self):
+        """When all kernels scale identically per node, the bound equals
+        total work over total rate."""
+        base = np.array([1.0, 2.0])  # flops-like per kernel
+        speeds = np.array([1.0, 3.0])
+        d = base[None, :] / speeds[:, None]
+        counts = [4, 6]
+        res = lp_task_allocation(d, counts)
+        total_work = 4 * 1.0 + 6 * 2.0
+        assert res.makespan == pytest.approx(total_work / speeds.sum())
+
+    def test_infeasible_kernel_forced_elsewhere(self):
+        """A node that cannot run a kernel (inf) receives none of it."""
+        d = np.array([[1.0, 1.0], [np.inf, 1.0]])
+        res = lp_task_allocation(d, [4, 4])
+        assert res.allocation[1, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_allocation_sums_to_counts(self):
+        d = np.array([[1.0, 3.0], [2.0, 1.0], [4.0, 5.0]])
+        counts = [9, 11]
+        res = lp_task_allocation(d, counts)
+        assert np.allclose(res.allocation.sum(axis=0), counts)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            lp_task_allocation(np.zeros(3), [1])
+        with pytest.raises(ValueError):
+            lp_task_allocation(np.zeros((2, 2)), [1])
+        with pytest.raises(ValueError):
+            lp_task_allocation(np.array([[-1.0]]), [1])
+
+
+class TestLPBoundCalculator:
+    @pytest.fixture
+    def calc(self):
+        cluster = get_scenario("b").build_cluster()
+        return LPBoundCalculator(cluster, Workload.from_name("101"))
+
+    def test_fact_bound_decreases_with_nodes(self, calc):
+        bounds = [calc.fact(n) for n in range(1, 15)]
+        assert all(b <= a + 1e-9 for a, b in zip(bounds, bounds[1:]))
+        # Strictly decreasing overall.
+        assert bounds[-1] < bounds[0]
+
+    def test_fact_bound_close_to_work_over_rate(self, calc):
+        """With GPU-capable nodes, the LP is near total-flops/total-rate
+        but not below the trivial bound."""
+        n = 8
+        lower = calc.fact(n)
+        wl = Workload.from_name("101")
+        trivial = wl.factorization_total_flops / (
+            calc.cluster.total_gflops(n) * 1e9
+        )
+        assert lower >= trivial * 0.5
+        assert lower < trivial * 5
+
+    def test_generation_bound_uses_cpu_only(self, calc):
+        wl = Workload.from_name("101")
+        n = len(calc.cluster)
+        expected = wl.generation_total_flops / (
+            calc.cluster.generation_gflops(n) * 1e9
+        )
+        assert calc.generation(n) == pytest.approx(expected, rel=1e-6)
+
+    def test_iteration_is_max_of_phases(self, calc):
+        n = 3
+        it = calc.iteration(n)
+        assert it == pytest.approx(
+            max(calc.fact(n), calc.generation(len(calc.cluster)))
+        )
+
+    def test_callable_shorthand(self, calc):
+        assert calc(4) == pytest.approx(calc.iteration(4))
+
+    def test_cache_consistency(self, calc):
+        assert calc.fact(5) == calc.fact(5)
+
+    def test_allocation_respects_counts(self, calc):
+        res = calc.fact_allocation(4)
+        from repro.linalg import kernels
+
+        wl = Workload.from_name("101")
+        counts = kernels.cholesky_task_counts(wl.t)
+        for j, name in enumerate(res.kernels):
+            assert res.allocation[:, j].sum() == pytest.approx(counts[name])
+
+    def test_custom_perfmodel(self):
+        cluster = get_scenario("b").build_cluster()
+        wl = Workload.from_name("101")
+        pm = PerfModel(overhead_s=0.0)
+        calc = LPBoundCalculator(cluster, wl, perfmodel=pm)
+        assert calc.fact(2) > 0

@@ -1,0 +1,62 @@
+"""Property-based tests for the LP allocation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import lp_task_allocation
+
+
+@st.composite
+def lp_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=4))
+    durations = np.array([
+        [draw(st.floats(min_value=0.01, max_value=10.0)) for _ in range(k)]
+        for _ in range(n)
+    ])
+    counts = [draw(st.integers(min_value=0, max_value=50)) for _ in range(k)]
+    return durations, counts
+
+
+class TestLPProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(inst=lp_instances())
+    def test_feasibility(self, inst):
+        durations, counts = inst
+        res = lp_task_allocation(durations, counts)
+        # All tasks placed.
+        assert np.allclose(res.allocation.sum(axis=0), counts, atol=1e-6)
+        # No node busier than the makespan.
+        busy = (res.allocation * durations).sum(axis=1)
+        assert np.all(busy <= res.makespan + 1e-6)
+        assert np.all(res.allocation >= -1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(inst=lp_instances())
+    def test_work_lower_bound(self, inst):
+        """Makespan at least total work over total rate (per kernel)."""
+        durations, counts = inst
+        res = lp_task_allocation(durations, counts)
+        for j, c in enumerate(counts):
+            rate = (1.0 / durations[:, j]).sum()
+            assert res.makespan >= c / rate - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(inst=lp_instances(), extra=st.floats(min_value=0.01, max_value=10.0))
+    def test_adding_a_node_never_hurts(self, inst, extra):
+        durations, counts = inst
+        base = lp_task_allocation(durations, counts).makespan
+        k = durations.shape[1]
+        bigger = np.vstack([durations, np.full((1, k), extra)])
+        improved = lp_task_allocation(bigger, counts).makespan
+        assert improved <= base + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(inst=lp_instances(), scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_scaling_durations_scales_makespan(self, inst, scale):
+        durations, counts = inst
+        base = lp_task_allocation(durations, counts).makespan
+        scaled = lp_task_allocation(durations * scale, counts).makespan
+        assert scaled == pytest.approx(base * scale, rel=1e-4, abs=1e-8)

@@ -1,0 +1,40 @@
+"""Extra coverage for experiment drivers: figure2/5 banks and figure6."""
+
+import pytest
+
+from repro.evaluate import figure2_banks, figure6
+from repro.measure import synthetic_bank
+from repro.platform import FIGURE2_KEYS
+
+
+@pytest.fixture(autouse=True)
+def tiny(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestFigure2Banks:
+    def test_builds_three_banks(self):
+        banks = figure2_banks()
+        assert set(banks) == set(FIGURE2_KEYS)
+        for bank in banks.values():
+            assert len(bank.actions) >= 3
+
+
+class TestFigure6Driver:
+    def test_runs_on_injected_banks(self):
+        banks = {
+            "x": synthetic_bank(
+                f=lambda n: 5.0 + 10.0 / n + 0.4 * n,
+                actions=range(2, 9),
+                lp=lambda n: 10.0 / n,
+                group_boundaries=(4, 8),
+                noise_sd=0.2,
+            )
+        }
+        evaluations = figure6(
+            banks=banks, strategies=("UCB-struct",), iterations=20, reps=3
+        )
+        assert set(evaluations) == {"x"}
+        assert evaluations["x"].summaries[0].name == "UCB-struct"

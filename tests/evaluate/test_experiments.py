@@ -1,0 +1,127 @@
+"""Tests for the per-figure experiment drivers (reduced sizes)."""
+
+import numpy as np
+import pytest
+
+from repro.evaluate import (
+    PAPER_TABLE1,
+    evaluate_scenarios,
+    figure1,
+    figure3,
+    figure4_snapshots,
+    figure8,
+    table1,
+    table2,
+)
+from repro.measure import synthetic_bank
+
+
+@pytest.fixture(autouse=True)
+def small_workload(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+@pytest.fixture(scope="module")
+def synth_banks():
+    def mk(seed, best):
+        return synthetic_bank(
+            f=lambda n: 5.0 + best * 8.0 / n + 0.5 * n,
+            actions=range(2, 11),
+            lp=lambda n: best * 8.0 / n,
+            group_boundaries=(4, 10),
+            noise_sd=0.2,
+            seed=seed,
+        )
+
+    return {"x": mk(0, 1.0), "y": mk(1, 2.0)}
+
+
+class TestFigure1:
+    def test_three_iterations(self):
+        result = figure1("b")
+        assert len(result.timelines) == 3
+        assert len(result.makespans) == 3
+        assert all(m > 0 for m in result.makespans)
+
+    def test_phases_overlap_in_trace(self):
+        result = figure1("b")
+        spans = result.phase_spans[1]
+        gen = spans["generation"]
+        fact = spans["factorization"]
+        assert fact[0] < gen[1]  # factorization starts before generation ends
+
+    def test_restricted_iteration_uses_fewer_fact_nodes(self):
+        result = figure1("b")
+        assert "iteration 3" in result.descriptions[2]
+
+
+class TestFigure3:
+    def test_coverage_and_next_point(self):
+        result = figure3()
+        assert 0.0 <= result.next_point <= 4 * np.pi
+        assert result.coverage_95 > 0.8
+        assert result.grid.shape == result.mean.shape == result.sd.shape
+
+
+class TestFigure4:
+    def test_snapshots_captured(self, synth_banks):
+        snaps = figure4_snapshots(
+            synth_banks["x"], "GP-discontinuous", iterations=(5, 8, 12)
+        )
+        assert [s.iteration for s in snaps] == [5, 8, 12]
+        # Counts accumulate over iterations.
+        assert sum(snaps[0].counts.values()) == 4
+        assert sum(snaps[-1].counts.values()) == 11
+
+    def test_gp_surface_available_after_init(self, synth_banks):
+        snaps = figure4_snapshots(synth_banks["x"], "GP-UCB", iterations=(10,))
+        s = snaps[0]
+        assert s.mean is not None
+        assert s.lcb is not None
+        assert np.all(s.lcb <= s.mean + 1e-9)
+
+    def test_next_action_in_grid(self, synth_banks):
+        snaps = figure4_snapshots(synth_banks["x"], "GP-UCB", iterations=(8,))
+        assert snaps[0].next_action in synth_banks["x"].actions
+
+
+class TestFigure8:
+    def test_grid_and_best(self):
+        result = figure8("b", step=6)
+        assert result.durations.ndim == 2
+        gen, fact, dur = result.best()
+        assert dur <= result.all_nodes_duration() + 1e-9
+        assert gen in result.gen_counts
+        assert fact in result.fact_counts
+
+
+class TestTable1:
+    def test_derivation(self, synth_banks):
+        evals = evaluate_scenarios(
+            synth_banks, strategies=("DC", "GP-discontinuous"),
+            iterations=30, reps=4,
+        )
+        early = evaluate_scenarios(
+            synth_banks, strategies=("DC", "GP-discontinuous"),
+            iterations=10, reps=4,
+        )
+        rows = table1(evals, early)
+        assert [r.strategy for r in rows] == ["DC", "GP-discontinuous"]
+        for r in rows:
+            assert 0 <= r.near_optimal_scenarios <= r.total_scenarios
+            assert r.paper == PAPER_TABLE1[r.strategy]
+
+    def test_paper_expectations_complete(self):
+        from repro.strategies import strategy_names
+
+        assert set(PAPER_TABLE1) == set(strategy_names())
+
+
+class TestTable2:
+    def test_six_machines(self):
+        rows = table2()
+        assert len(rows) == 6
+        assert {r["site"] for r in rows} == {"G5K", "SD"}
+        assert all(r["total_gflops"] > 0 for r in rows)

@@ -1,0 +1,44 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluate import cumulative_regret, gain_percent, summarize
+
+
+class TestGainPercent:
+    def test_faster_is_positive(self):
+        assert gain_percent(100.0, 50.0) == pytest.approx(50.0)
+
+    def test_slower_is_negative(self):
+        assert gain_percent(100.0, 110.0) == pytest.approx(-10.0)
+
+    def test_equal_is_zero(self):
+        assert gain_percent(42.0, 42.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            gain_percent(0.0, 10.0)
+
+
+class TestCumulativeRegret:
+    def test_optimal_policy_zero_regret(self):
+        assert cumulative_regret([5.0, 5.0, 5.0], best_mean=5.0) == 0.0
+
+    def test_positive_for_suboptimal(self):
+        assert cumulative_regret([6.0, 7.0], best_mean=5.0) == pytest.approx(3.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize("X", "G", [100.0, 110.0, 90.0], baseline_mean=200.0)
+        assert s.name == "X"
+        assert s.mean_total == pytest.approx(100.0)
+        assert s.gain_pct == pytest.approx(50.0)
+        assert s.sd_total == pytest.approx(np.std([100.0, 110.0, 90.0]))
+
+    def test_ci_half_width(self):
+        s = summarize("X", "G", [10.0] * 30, baseline_mean=20.0)
+        assert s.ci95_half_width == 0.0
+        s2 = summarize("X", "G", [9.0, 11.0] * 15, baseline_mean=20.0)
+        assert s2.ci95_half_width > 0

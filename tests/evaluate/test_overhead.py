@@ -1,0 +1,40 @@
+"""Tests for the Figure 7 overhead measurement."""
+
+import pytest
+
+from repro.evaluate import measure_overhead, strategy_space_for
+from repro.platform import get_scenario
+
+
+@pytest.fixture(autouse=True)
+def small_workload(monkeypatch):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+
+
+class TestStrategySpace:
+    def test_space_has_lp(self):
+        space = strategy_space_for(get_scenario("b"))
+        assert space.lp_bound is not None
+        assert space.lp_bound(4) > 0
+        assert space.n_total == 14
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return measure_overhead("b", reps=2, iterations=12)
+
+    def test_shape(self, result):
+        assert result.per_iteration.shape == (2, 12)
+        assert result.iteration_durations.shape == (2, 12)
+
+    def test_overheads_nonnegative(self, result):
+        assert (result.per_iteration >= 0).all()
+
+    def test_relative_overhead_small(self, result):
+        """Strategy cost is negligible vs iteration time (paper: <1%)."""
+        assert result.relative_overhead < 0.05
+
+    def test_steady_state_defined(self, result):
+        assert result.steady_state_mean >= 0
+        assert len(result.mean_per_iteration) == 12

@@ -1,0 +1,61 @@
+"""Tests for the regret/convergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.evaluate import convergence_table, regret_curves
+from repro.measure import synthetic_bank
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return synthetic_bank(
+        f=lambda n: 8.0 + 24.0 / n + 0.6 * n,
+        actions=range(2, 13),
+        lp=lambda n: 24.0 / n,
+        group_boundaries=(4, 12),
+        noise_sd=0.25,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def curves(bank):
+    return regret_curves(
+        bank, ("UCB-struct", "GP-discontinuous", "Right-Left"),
+        iterations=60, reps=4,
+    )
+
+
+class TestRegretCurves:
+    def test_shapes(self, curves):
+        for curve in curves.values():
+            assert curve.chosen.shape == (4, 60)
+            assert curve.instant_regret.shape == (4, 60)
+
+    def test_regret_nonnegative(self, curves):
+        for curve in curves.values():
+            assert np.all(curve.instant_regret >= -1e-9)
+
+    def test_cumulative_monotone(self, curves):
+        for curve in curves.values():
+            cum = curve.cumulative
+            assert np.all(np.diff(cum) >= -1e-9)
+
+    def test_gp_disc_sublinear_regret(self, bank, curves):
+        """Once converged, instantaneous regret is small: the cumulative
+        curve flattens (regret in the second half grows slower)."""
+        cum = curves["GP-discontinuous"].cumulative
+        first_half = cum[29] - cum[0]
+        second_half = cum[-1] - cum[30]
+        assert second_half < first_half
+
+    def test_convergence_iteration_finite_for_good_strategy(self, curves):
+        conv = curves["GP-discontinuous"].convergence_iteration(tolerance=0.1)
+        assert conv < 40
+
+    def test_table_sorted_by_regret(self, curves):
+        rows = convergence_table(curves)
+        regrets = [r["cumulative_regret"] for r in rows]
+        assert regrets == sorted(regrets)
+        assert {r["strategy"] for r in rows} == set(curves)

@@ -1,0 +1,112 @@
+"""Tests for the adaptive ExaGeoStat application loop."""
+
+import numpy as np
+import pytest
+
+from repro.geostat import (
+    ExaGeoStat,
+    MaternParams,
+    make_covariance,
+    synthetic_dataset,
+)
+from repro.platform import get_scenario
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def app():
+    cluster = get_scenario("b").build_cluster()
+    workload = Workload(name="101", t=8, nb=64)
+    return ExaGeoStat(cluster, workload)
+
+
+class _RoundRobinController:
+    """Cycles through node counts; records observations."""
+
+    def __init__(self, counts):
+        self.counts = list(counts)
+        self.i = 0
+        self.observed = []
+
+    def propose(self):
+        n = self.counts[self.i % len(self.counts)]
+        self.i += 1
+        return n
+
+    def observe(self, n, duration):
+        self.observed.append((n, duration))
+
+
+class TestMeasurement:
+    def test_measure_positive(self, app):
+        assert app.measure(4) > 0
+
+    def test_deterministic_without_noise(self, app):
+        assert app.measure(4) == app.measure(4)
+
+    def test_cache_hits_are_fast(self, app):
+        import time
+
+        app.measure(5)
+        t0 = time.perf_counter()
+        app.measure(5)
+        assert time.perf_counter() - t0 < 0.01
+
+    def test_noise_model_applied(self):
+        cluster = get_scenario("b").build_cluster()
+        workload = Workload(name="101", t=6, nb=64)
+        app = ExaGeoStat(
+            cluster, workload, noise=lambda d, rng: d + rng.normal(0, 0.5)
+        )
+        samples = {app.measure(3) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_duration_never_negative(self):
+        cluster = get_scenario("b").build_cluster()
+        workload = Workload(name="101", t=4, nb=32)
+        app = ExaGeoStat(cluster, workload, noise=lambda d, rng: d - 1e9)
+        assert app.measure(2) == 0.0
+
+
+class TestAdaptiveRun:
+    def test_records_controller_choices(self, app):
+        ctrl = _RoundRobinController([2, 5, 8])
+        result = app.run(ctrl, iterations=6)
+        assert result.chosen_counts == [2, 5, 8, 2, 5, 8]
+        assert len(ctrl.observed) == 6
+
+    def test_total_time_is_sum(self, app):
+        ctrl = _RoundRobinController([3])
+        result = app.run(ctrl, iterations=4)
+        assert result.total_time == pytest.approx(
+            sum(r.duration for r in result.records)
+        )
+
+    def test_overhead_measured(self, app):
+        ctrl = _RoundRobinController([3])
+        result = app.run(ctrl, iterations=3)
+        assert all(r.controller_overhead >= 0 for r in result.records)
+
+    def test_run_fixed_constant(self, app):
+        result = app.run_fixed(6, iterations=3)
+        assert result.chosen_counts == [6, 6, 6]
+
+    def test_invalid_iterations(self, app):
+        with pytest.raises(ValueError):
+            app.run(_RoundRobinController([2]), iterations=0)
+
+
+class TestLikelihoodRun:
+    def test_full_pipeline(self):
+        cluster = get_scenario("b").build_cluster()
+        workload = Workload(name="101", t=4, nb=64)
+        app = ExaGeoStat(cluster, workload)
+        cov = make_covariance(MaternParams(range_=0.2, nugget=1e-4))
+        data = synthetic_dataset(32, cov, seed=5)
+        ctrl = _RoundRobinController([2, 4])
+        result = app.run_with_likelihood(ctrl, data, 0.05, 0.6, iterations=8)
+        assert len(result.records) == 8
+        assert all(r.theta is not None for r in result.records)
+        assert all(np.isfinite(r.log_likelihood) for r in result.records)
+        # Likelihood search should visit thetas inside the bracket.
+        assert all(0.05 < r.theta < 0.6 for r in result.records)

@@ -1,0 +1,70 @@
+"""Tests for Matern covariance kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geostat import MaternParams, covariance_matrix, matern_correlation
+
+
+class TestMaternCorrelation:
+    def test_zero_distance_is_one(self):
+        for nu in (0.5, 1.5, 2.5, 0.8):
+            assert matern_correlation(np.array([0.0]), 0.1, nu)[0] == pytest.approx(1.0)
+
+    def test_exponential_special_case(self):
+        r = np.linspace(0, 1, 20)
+        assert np.allclose(matern_correlation(r, 0.2, 0.5), np.exp(-r / 0.2))
+
+    def test_decreasing_in_distance(self):
+        r = np.linspace(0, 2, 50)
+        for nu in (0.5, 1.5, 2.5, 1.0):
+            c = matern_correlation(r, 0.3, nu)
+            assert np.all(np.diff(c) <= 1e-12)
+
+    def test_general_matches_closed_form(self):
+        """The Bessel branch agrees with the nu=1.5 closed form."""
+        r = np.linspace(0.01, 1, 25)
+        closed = matern_correlation(r, 0.2, 1.5)
+        general = matern_correlation(r, 0.2, 1.5000001)
+        assert np.allclose(closed, general, atol=1e-4)
+
+    def test_bounded(self):
+        r = np.linspace(0, 10, 100)
+        c = matern_correlation(r, 0.1, 2.0)
+        assert np.all((c >= -1e-12) & (c <= 1.0 + 1e-12))
+
+
+class TestCovarianceMatrix:
+    def locations(self, n=30, seed=0):
+        return np.random.default_rng(seed).uniform(size=(n, 2))
+
+    def test_symmetric(self):
+        sigma = covariance_matrix(self.locations(), MaternParams())
+        assert np.allclose(sigma, sigma.T)
+
+    def test_diagonal_is_variance_plus_nugget(self):
+        p = MaternParams(variance=2.0, nugget=0.1)
+        sigma = covariance_matrix(self.locations(), p)
+        assert np.allclose(np.diag(sigma), 2.1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        nu=st.sampled_from([0.5, 1.5, 2.5]),
+        rng_range=st.floats(min_value=0.02, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_property_positive_definite(self, nu, rng_range, seed):
+        p = MaternParams(range_=rng_range, smoothness=nu, nugget=1e-6)
+        sigma = covariance_matrix(self.locations(seed=seed), p)
+        eigmin = np.linalg.eigvalsh(sigma).min()
+        assert eigmin > 0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            MaternParams(variance=0.0)
+        with pytest.raises(ValueError):
+            MaternParams(range_=-1.0)
+        with pytest.raises(ValueError):
+            MaternParams(nugget=-1e-3)

@@ -1,0 +1,88 @@
+"""Tests for the tiled log-likelihood pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geostat import (
+    MaternParams,
+    direct_log_likelihood,
+    golden_section_range_search,
+    log_likelihood,
+    make_covariance,
+    synthetic_dataset,
+    tile_size_for,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    cov = make_covariance(MaternParams(range_=0.15, nugget=1e-4))
+    return synthetic_dataset(64, cov, seed=11)
+
+
+class TestTileSizeFor:
+    def test_divides(self):
+        nb = tile_size_for(64, 8)
+        assert 64 % nb == 0
+        assert 64 // nb >= 8
+
+    def test_prime_falls_back(self):
+        assert tile_size_for(13, 4) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tile_size_for(0, 4)
+
+
+class TestLogLikelihood:
+    def test_matches_direct(self, data):
+        p = MaternParams(range_=0.15, nugget=1e-4)
+        tiled = log_likelihood(data, p).log_likelihood
+        assert tiled == pytest.approx(direct_log_likelihood(data, p), rel=1e-9)
+
+    def test_breakdown_components(self, data):
+        p = MaternParams(range_=0.1, nugget=1e-4)
+        res = log_likelihood(data, p)
+        from repro.geostat import covariance_matrix
+
+        sigma = covariance_matrix(data.locations, p)
+        assert res.log_det == pytest.approx(np.linalg.slogdet(sigma)[1], rel=1e-9)
+        quad = data.observations @ np.linalg.solve(sigma, data.observations)
+        assert res.quadratic_form == pytest.approx(quad, rel=1e-9)
+
+    def test_indivisible_tile_size_rejected(self, data):
+        with pytest.raises(ValueError):
+            log_likelihood(data, MaternParams(), nb=7)
+
+    @settings(max_examples=10, deadline=None)
+    @given(range_=st.floats(min_value=0.05, max_value=0.5))
+    def test_property_tiled_equals_direct(self, data, range_):
+        p = MaternParams(range_=range_, nugget=1e-4)
+        assert log_likelihood(data, p, nb=16).log_likelihood == pytest.approx(
+            direct_log_likelihood(data, p), rel=1e-8
+        )
+
+    def test_true_theta_scores_well(self, data):
+        """The generating range should beat far-off candidates."""
+        true = log_likelihood(data, MaternParams(range_=0.15, nugget=1e-4))
+        off = log_likelihood(data, MaternParams(range_=0.9, nugget=1e-4))
+        assert true.log_likelihood > off.log_likelihood
+
+
+class TestGoldenSection:
+    def test_yields_requested_iterations(self, data):
+        steps = list(golden_section_range_search(data, 0.02, 0.8, iterations=10))
+        assert len(steps) == 10
+
+    def test_converges_toward_true_range(self, data):
+        steps = list(golden_section_range_search(data, 0.02, 0.8, iterations=20))
+        best = max(steps, key=lambda s: s[1])
+        assert 0.05 < best[0] < 0.45  # true range is 0.15
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            list(golden_section_range_search(data, 0.5, 0.1, iterations=5))
+        with pytest.raises(ValueError):
+            list(golden_section_range_search(data, 0.1, 0.5, iterations=0))

@@ -1,0 +1,79 @@
+"""Tests for the five-phase iteration graph."""
+
+import pytest
+
+from repro.geostat import IterationPlan, PHASES, build_iteration_graph
+from repro.linalg import kernels
+from repro.platform import get_scenario
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return Workload(name="101", t=8, nb=64)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return get_scenario("b").build_cluster()  # G5K 2L-6M-6S, 14 nodes
+
+
+class TestIterationGraph:
+    def test_all_phases_present(self, cluster, small_workload):
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=4, n_gen=14)
+        )
+        phases = {t.phase for t in graph.tasks}
+        assert phases == set(PHASES)
+
+    def test_task_counts(self, cluster, small_workload):
+        t = small_workload.t
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=4, n_gen=14)
+        )
+        counts = graph.counts_by_name()
+        lower = t * (t + 1) // 2
+        assert counts["dcmg"] == lower
+        for name, expected in kernels.cholesky_task_counts(t).items():
+            assert counts[name] == expected
+        assert counts["det"] == t
+        assert counts["dot"] == t
+
+    def test_acyclic(self, cluster, small_workload):
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=2, n_gen=5)
+        )
+        graph.validate_acyclic()
+
+    def test_factorization_restricted_to_n_fact(self, cluster, small_workload):
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=3, n_gen=14)
+        )
+        fact_nodes = {t.node for t in graph.phase_tasks("factorization")}
+        assert max(fact_nodes) < 3
+
+    def test_generation_spreads_over_n_gen(self, cluster, small_workload):
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=3, n_gen=14)
+        )
+        gen_nodes = {t.node for t in graph.phase_tasks("generation")}
+        assert len(gen_nodes) > 5  # most of the 14 nodes participate
+
+    def test_factorization_depends_on_generation(self, cluster, small_workload):
+        graph = build_iteration_graph(
+            cluster, small_workload, IterationPlan(n_fact=2, n_gen=2)
+        )
+        preds = graph.predecessors()
+        first_potrf = next(
+            t for t in graph.tasks if t.name == "potrf" and t.tag == (0, 0, 0)
+        )
+        pred_names = {graph.tasks[p].name for p in preds[first_potrf.tid]}
+        assert "dcmg" in pred_names
+
+    def test_plan_validation(self, cluster, small_workload):
+        with pytest.raises(ValueError):
+            build_iteration_graph(
+                cluster, small_workload, IterationPlan(n_fact=99, n_gen=1)
+            )
+        with pytest.raises(ValueError):
+            IterationPlan(n_fact=0, n_gen=1)

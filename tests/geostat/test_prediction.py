@@ -1,0 +1,92 @@
+"""Tests for kriging prediction of missing observations."""
+
+import numpy as np
+import pytest
+
+from repro.geostat import (
+    MaternParams,
+    SpatialData,
+    cross_covariance,
+    covariance_matrix,
+    holdout_experiment,
+    make_covariance,
+    predict_missing,
+    synthetic_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = MaternParams(variance=1.0, range_=0.2, smoothness=0.5, nugget=1e-4)
+    data = synthetic_dataset(64, make_covariance(params), seed=9)
+    rng = np.random.default_rng(1)
+    missing = rng.uniform(0.1, 0.9, size=(10, 2))
+    return params, data, missing
+
+
+class TestPredictMissing:
+    def test_matches_dense_oracle(self, setup):
+        params, data, missing = setup
+        result = predict_missing(data, missing, params)
+        sigma_oo = covariance_matrix(data.locations, params)
+        sigma_mo = cross_covariance(missing, data.locations, params)
+        expected = sigma_mo @ np.linalg.solve(sigma_oo, data.observations)
+        assert np.allclose(result.mean, expected, rtol=1e-8)
+
+    def test_variance_matches_dense_oracle(self, setup):
+        params, data, missing = setup
+        result = predict_missing(data, missing, params)
+        sigma_oo = covariance_matrix(data.locations, params)
+        sigma_mo = cross_covariance(missing, data.locations, params)
+        var = (
+            params.variance + params.nugget
+            - np.einsum("ij,ji->i", sigma_mo, np.linalg.solve(sigma_oo, sigma_mo.T))
+        )
+        assert np.allclose(result.sd**2, var, rtol=1e-6, atol=1e-10)
+
+    def test_prediction_at_observed_point_recovers_value(self, setup):
+        params, data, _ = setup
+        result = predict_missing(data, data.locations[:3], params)
+        # With a tiny nugget the predictor nearly interpolates.
+        assert np.allclose(result.mean, data.observations[:3], atol=0.05)
+        assert np.all(result.sd[:3] < 0.1)
+
+    def test_sd_grows_far_from_data(self, setup):
+        params, data, _ = setup
+        near = data.locations[0][None, :] + 0.01
+        far = np.array([[5.0, 5.0]])
+        r_near = predict_missing(data, near, params)
+        r_far = predict_missing(data, far, params)
+        assert r_far.sd[0] > r_near.sd[0]
+        # Far away, the predictor reverts to the prior.
+        assert abs(r_far.mean[0]) < 0.05
+        assert r_far.sd[0] == pytest.approx(
+            np.sqrt(params.variance + params.nugget), rel=1e-3
+        )
+
+    def test_shape_validation(self, setup):
+        params, data, _ = setup
+        with pytest.raises(ValueError):
+            predict_missing(data, np.zeros((3, 3)), params)
+
+    def test_mspe_validation(self, setup):
+        params, data, missing = setup
+        result = predict_missing(data, missing, params)
+        with pytest.raises(ValueError):
+            result.mspe(np.zeros(3))
+
+
+class TestHoldout:
+    def test_kriging_beats_trivial(self):
+        params = MaternParams(variance=1.0, range_=0.3, nugget=1e-4)
+        out = holdout_experiment(n_total=80, n_missing=16, params=params, seed=2)
+        assert out["mspe_kriging"] < out["mspe_trivial"]
+
+    def test_coverage_reasonable(self):
+        params = MaternParams(variance=1.0, range_=0.25, nugget=1e-3)
+        out = holdout_experiment(n_total=100, n_missing=20, params=params, seed=3)
+        assert out["coverage95"] >= 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            holdout_experiment(10, 10, MaternParams())

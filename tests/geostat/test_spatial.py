@@ -1,0 +1,65 @@
+"""Tests for synthetic spatial data generation."""
+
+import numpy as np
+import pytest
+
+from repro.geostat import (
+    MaternParams,
+    SpatialData,
+    jittered_grid,
+    make_covariance,
+    synthetic_dataset,
+)
+
+
+class TestJitteredGrid:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        assert jittered_grid(25, rng).shape == (25, 2)
+
+    def test_non_square_count(self):
+        rng = np.random.default_rng(0)
+        assert jittered_grid(10, rng).shape == (10, 2)
+
+    def test_in_unit_square(self):
+        rng = np.random.default_rng(1)
+        pts = jittered_grid(49, rng, jitter=0.4)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_zero_jitter_is_regular(self):
+        rng = np.random.default_rng(2)
+        pts = jittered_grid(4, rng, jitter=0.0)
+        assert np.allclose(sorted(set(np.round(pts[:, 0], 9))), [0.25, 0.75])
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            jittered_grid(0, rng)
+        with pytest.raises(ValueError):
+            jittered_grid(4, rng, jitter=0.6)
+
+
+class TestSyntheticDataset:
+    def test_reproducible(self):
+        cov = make_covariance(MaternParams())
+        d1 = synthetic_dataset(16, cov, seed=7)
+        d2 = synthetic_dataset(16, cov, seed=7)
+        assert np.array_equal(d1.observations, d2.observations)
+
+    def test_different_seeds_differ(self):
+        cov = make_covariance(MaternParams())
+        d1 = synthetic_dataset(16, cov, seed=1)
+        d2 = synthetic_dataset(16, cov, seed=2)
+        assert not np.array_equal(d1.observations, d2.observations)
+
+    def test_marginal_variance_plausible(self):
+        """With variance 1, sample variance over many points is near 1."""
+        cov = make_covariance(MaternParams(variance=1.0, range_=0.02))
+        data = synthetic_dataset(400, cov, seed=3)
+        assert 0.6 < np.var(data.observations) < 1.6
+
+    def test_spatialdata_validation(self):
+        with pytest.raises(ValueError):
+            SpatialData(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            SpatialData(np.zeros((3, 2)), np.zeros(4))

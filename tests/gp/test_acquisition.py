@@ -1,0 +1,76 @@
+"""Tests for EI/PI acquisition functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import expected_improvement, probability_of_improvement
+
+
+class TestExpectedImprovement:
+    def test_zero_sd_certain_improvement(self):
+        ei = expected_improvement(np.array([3.0]), np.array([0.0]), best=5.0)
+        assert ei[0] == pytest.approx(2.0)
+
+    def test_zero_sd_no_improvement(self):
+        ei = expected_improvement(np.array([7.0]), np.array([0.0]), best=5.0)
+        assert ei[0] == 0.0
+
+    def test_symmetric_candidate_half_normal(self):
+        """mean == best: EI = s * phi(0) = s / sqrt(2 pi)."""
+        s = 2.0
+        ei = expected_improvement(np.array([5.0]), np.array([s]), best=5.0)
+        assert ei[0] == pytest.approx(s / np.sqrt(2 * np.pi))
+
+    def test_monotone_in_uncertainty(self):
+        sds = np.array([0.1, 1.0, 5.0])
+        ei = expected_improvement(np.full(3, 6.0), sds, best=5.0)
+        assert ei[0] < ei[1] < ei[2]
+
+    def test_monotone_in_mean(self):
+        means = np.array([3.0, 5.0, 7.0])
+        ei = expected_improvement(means, np.full(3, 1.0), best=5.0)
+        assert ei[0] > ei[1] > ei[2]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        mean=st.floats(min_value=-50, max_value=50),
+        sd=st.floats(min_value=0, max_value=20),
+        best=st.floats(min_value=-50, max_value=50),
+    )
+    def test_property_nonnegative(self, mean, sd, best):
+        ei = expected_improvement(np.array([mean]), np.array([sd]), best)
+        assert ei[0] >= 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(2), np.zeros(3), 1.0)
+
+    def test_negative_sd_rejected(self):
+        with pytest.raises(ValueError):
+            expected_improvement(np.zeros(1), np.array([-1.0]), 1.0)
+
+    def test_xi_reduces_ei(self):
+        ei0 = expected_improvement(np.array([4.0]), np.array([1.0]), 5.0, xi=0.0)
+        ei1 = expected_improvement(np.array([4.0]), np.array([1.0]), 5.0, xi=0.5)
+        assert ei1 < ei0
+
+
+class TestProbabilityOfImprovement:
+    def test_mean_equals_best_is_half(self):
+        pi = probability_of_improvement(np.array([5.0]), np.array([1.0]), 5.0)
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_zero_sd_binary(self):
+        pi = probability_of_improvement(
+            np.array([3.0, 7.0]), np.array([0.0, 0.0]), 5.0
+        )
+        assert list(pi) == [1.0, 0.0]
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        pi = probability_of_improvement(
+            rng.normal(size=50), rng.uniform(0, 3, size=50), 0.3
+        )
+        assert np.all((pi >= 0) & (pi <= 1))

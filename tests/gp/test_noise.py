@@ -1,0 +1,46 @@
+"""Tests for the replicate-based noise estimator."""
+
+import numpy as np
+import pytest
+
+from repro.gp import estimate_noise_variance, group_observations
+
+
+class TestGroupObservations:
+    def test_groups(self):
+        grouped = group_observations([1, 2, 1], [10.0, 20.0, 12.0])
+        assert grouped == {1.0: [10.0, 12.0], 2.0: [20.0]}
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            group_observations([1, 2], [1.0])
+
+
+class TestNoiseEstimation:
+    def test_fallback_without_replicates(self):
+        assert estimate_noise_variance([1, 2, 3], [1.0, 2.0, 3.0], fallback=0.7) == 0.7
+
+    def test_two_replicates(self):
+        # x=5 measured twice: values 10 and 12 -> mean 11, squares 1+1=2,
+        # denominator n(x) - 1 = 1 -> sigma^2 = 2.
+        est = estimate_noise_variance([5, 5, 7], [10.0, 12.0, 99.0])
+        assert est == pytest.approx(2.0)
+
+    def test_ignores_singletons(self):
+        with_single = estimate_noise_variance([5, 5, 7], [10.0, 12.0, 99.0])
+        without = estimate_noise_variance([5, 5], [10.0, 12.0])
+        assert with_single == without
+
+    def test_converges_to_true_variance(self):
+        rng = np.random.default_rng(0)
+        sigma = 0.5
+        xs, ys = [], []
+        for x in range(5):
+            for _ in range(200):
+                xs.append(x)
+                ys.append(3.0 * x + rng.normal(0, sigma))
+        est = estimate_noise_variance(xs, ys)
+        assert est == pytest.approx(sigma**2, rel=0.15)
+
+    def test_identical_replicates_fallback(self):
+        assert estimate_noise_variance([1, 1], [5.0, 5.0], fallback=0.3) == 0.3

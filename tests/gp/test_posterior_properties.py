@@ -1,0 +1,119 @@
+"""Property-based tests of GP posterior behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gp import Exponential, GaussianProcess, LinearTrend
+
+
+def fit_gp(x, y, noise=1e-8, theta=2.0):
+    return GaussianProcess(
+        kernel=Exponential(theta=theta), noise_var=noise,
+        optimize=False, alpha=1.0,
+    ).fit(np.asarray(x, float), np.asarray(y, float))
+
+
+class TestPosteriorContraction:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        new_x=st.floats(min_value=2.0, max_value=8.0),
+    )
+    def test_observing_a_point_reduces_its_variance(self, seed, new_x):
+        rng = np.random.default_rng(seed)
+        x = np.array([0.0, 1.0, 9.0, 10.0])
+        y = rng.standard_normal(4)
+        gp1 = fit_gp(x, y)
+        _, sd_before = gp1.predict(np.array([new_x]))
+
+        y_new = rng.standard_normal()
+        gp2 = fit_gp(np.append(x, new_x), np.append(y, y_new))
+        _, sd_after = gp2.predict(np.array([new_x]))
+        assert sd_after[0] <= sd_before[0] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_adding_data_never_increases_variance_elsewhere(self, seed):
+        """With fixed hyper-parameters, conditioning on more data shrinks
+        posterior variance pointwise (Gaussian conditioning)."""
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(0, 10, size=5))
+        x += np.arange(5) * 0.3
+        y = rng.standard_normal(5)
+        grid = np.linspace(0, 12, 25)
+        gp1 = fit_gp(x, y)
+        _, sd1 = gp1.predict(grid)
+        extra_x, extra_y = 11.0, rng.standard_normal()
+        gp2 = fit_gp(np.append(x, extra_x), np.append(y, extra_y))
+        _, sd2 = gp2.predict(grid)
+        assert np.all(sd2 <= sd1 + 1e-6)
+
+    def test_replication_shrinks_noise_dominated_uncertainty(self):
+        """Repeating the same noisy measurement tightens the posterior at
+        that location (averaging over noise)."""
+        x1 = np.array([5.0])
+        gp1 = GaussianProcess(noise_var=1.0, optimize=False, alpha=1.0).fit(
+            x1, np.array([2.0])
+        )
+        _, sd1 = gp1.predict(np.array([5.0]))
+        x4 = np.array([5.0] * 4)
+        gp4 = GaussianProcess(noise_var=1.0, optimize=False, alpha=1.0).fit(
+            x4, np.array([2.0, 1.8, 2.2, 2.0])
+        )
+        _, sd4 = gp4.predict(np.array([5.0]))
+        assert sd4[0] < sd1[0]
+
+
+class TestPosteriorMeanProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        shift=st.floats(min_value=-100.0, max_value=100.0),
+        seed=st.integers(min_value=0, max_value=200),
+    )
+    def test_translation_equivariance_with_trend(self, shift, seed):
+        """Adding a constant to y shifts predictions by that constant."""
+        rng = np.random.default_rng(seed)
+        x = np.arange(1.0, 8.0)
+        y = rng.standard_normal(7)
+        grid = np.linspace(1, 7, 13)
+        gp1 = GaussianProcess(
+            trend=LinearTrend(), noise_var=1e-6, optimize=False, alpha=1.0
+        ).fit(x, y)
+        gp2 = GaussianProcess(
+            trend=LinearTrend(), noise_var=1e-6, optimize=False, alpha=1.0
+        ).fit(x, y + shift)
+        m1, s1 = gp1.predict(grid)
+        m2, s2 = gp2.predict(grid)
+        assert np.allclose(m2, m1 + shift, atol=1e-6 * max(1, abs(shift)))
+        assert np.allclose(s1, s2, atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_equivariance(self, scale):
+        """Scaling y scales the mean; alpha scales variance accordingly."""
+        x = np.arange(1.0, 6.0)
+        y = np.array([1.0, 3.0, 2.0, 5.0, 4.0])
+        grid = np.array([1.5, 3.5])
+        gp1 = fit_gp(x, y)
+        m1, _ = gp1.predict(grid)
+        gp2 = GaussianProcess(
+            kernel=Exponential(theta=2.0), noise_var=1e-8,
+            optimize=False, alpha=scale**2,
+        ).fit(x, y * scale)
+        m2, _ = gp2.predict(grid)
+        assert np.allclose(m2, m1 * scale, rtol=1e-5)
+
+    def test_2d_inputs_roundtrip(self):
+        """The N-D path interpolates like the 1-D path."""
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 5, size=(8, 2))
+        y = rng.standard_normal(8)
+        gp = GaussianProcess(
+            kernel=Exponential(theta=3.0), noise_var=1e-10,
+            optimize=False, alpha=1.0,
+        ).fit(x, y)
+        mean, sd = gp.predict(x)
+        assert np.allclose(mean, y, atol=1e-4)
+        assert np.all(sd < 1e-2)

@@ -1,0 +1,69 @@
+"""Tests for trend bases."""
+
+import numpy as np
+import pytest
+
+from repro.gp import ConstantTrend, GroupDummyTrend, LinearTrend
+
+
+class TestConstantTrend:
+    def test_design_matrix(self):
+        f = ConstantTrend().design_matrix(np.array([1.0, 5.0]))
+        assert f.shape == (2, 1)
+        assert np.allclose(f, 1.0)
+
+    def test_n_functions(self):
+        assert ConstantTrend().n_functions == 1
+
+
+class TestLinearTrend:
+    def test_design_matrix(self):
+        f = LinearTrend().design_matrix(np.array([2.0, 4.0]))
+        assert f.shape == (2, 2)
+        assert np.allclose(f[:, 0], 1.0)
+        assert np.allclose(f[:, 1], [2.0, 4.0])
+
+    def test_n_functions(self):
+        assert LinearTrend().n_functions == 2
+
+
+class TestGroupDummyTrend:
+    # Cluster 2L-6M-6S: boundaries at counts 2, 8, 14.
+    @pytest.fixture
+    def trend(self):
+        return GroupDummyTrend(boundaries=(2, 8, 14))
+
+    def test_group_of(self, trend):
+        assert trend.group_of(1) == 0
+        assert trend.group_of(2) == 0
+        assert trend.group_of(3) == 1
+        assert trend.group_of(8) == 1
+        assert trend.group_of(9) == 2
+        assert trend.group_of(14) == 2
+        assert trend.group_of(99) == 2  # clamped
+
+    def test_design_matrix_shape(self, trend):
+        f = trend.design_matrix(np.arange(1, 15, dtype=float))
+        assert f.shape == (14, 4)  # 1, x, d1, d2
+        assert trend.n_functions == 4
+
+    def test_dummies_are_steps(self, trend):
+        f = trend.design_matrix(np.array([1.0, 2.0, 3.0, 8.0, 9.0, 14.0]))
+        # d1 (group >= 1) switches on at x=3.
+        assert list(f[:, 2]) == [0.0, 0.0, 1.0, 1.0, 1.0, 1.0]
+        # d2 (group >= 2) switches on at x=9.
+        assert list(f[:, 3]) == [0.0, 0.0, 0.0, 0.0, 1.0, 1.0]
+
+    def test_single_group_has_no_dummies(self):
+        trend = GroupDummyTrend(boundaries=(64,))
+        assert trend.n_functions == 2
+        f = trend.design_matrix(np.array([10.0, 64.0]))
+        assert f.shape == (2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupDummyTrend(boundaries=())
+        with pytest.raises(ValueError):
+            GroupDummyTrend(boundaries=(5, 3))
+        with pytest.raises(ValueError):
+            GroupDummyTrend(boundaries=(0, 3))

@@ -1,0 +1,52 @@
+"""Characterization of all 16 scenarios at reduced scale.
+
+Cheap structural checks over every scenario of Figures 5/6: the sweep
+machinery, LP bounds, noise augmentation and action spaces must be
+coherent for each of them (the full-scale shapes are exercised by the
+benchmark harness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.measure import for_mode, scenario_actions, sweep_scenario
+from repro.platform import SCENARIOS, get_scenario
+from repro.workload import Workload
+
+
+@pytest.fixture(autouse=True)
+def tiny(monkeypatch):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+
+
+@pytest.mark.parametrize("key", sorted(SCENARIOS))
+class TestEveryScenario:
+    def test_action_space_structure(self, key):
+        scenario = get_scenario(key)
+        actions = scenario_actions(scenario)
+        assert actions[-1] == scenario.total_nodes
+        assert 2 <= actions[0] <= actions[-1]
+        assert list(actions) == list(range(actions[0], actions[-1] + 1))
+
+    def test_probe_sweep_consistent(self, key):
+        scenario = get_scenario(key)
+        actions = scenario_actions(scenario)
+        probes = sorted({actions[0], actions[len(actions) // 2], actions[-1]})
+        bank = sweep_scenario(scenario, actions=probes, augment=5, seed=3)
+        for n in probes:
+            assert bank.true_means[n] > 0
+            assert bank.lp[n] <= bank.true_means[n] + 1e-9
+            assert len(bank.samples[n]) == 5
+        # Noise magnitude roughly matches the configured model.
+        noise = for_mode(scenario.mode)
+        pooled = np.concatenate(
+            [bank.samples[n] - bank.true_means[n] for n in probes]
+        )
+        assert np.std(pooled) < 4 * (noise.sd + 1.0)
+
+    def test_group_boundaries_match_composition(self, key):
+        scenario = get_scenario(key)
+        cluster = scenario.build_cluster()
+        assert cluster.group_boundaries[-1] == scenario.total_nodes
+        assert len(cluster.group_boundaries) == len(scenario.counts)

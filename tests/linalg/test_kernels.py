@@ -1,0 +1,88 @@
+"""Unit tests for tile kernels (flop counts and numerics)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import kernels
+
+
+def random_spd(n, rng):
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestFlopCounts:
+    def test_cholesky_total_matches_per_kernel_sum(self):
+        t, nb = 7, 4
+        counts = kernels.cholesky_task_counts(t)
+        total = (
+            counts["potrf"] * kernels.potrf_flops(nb)
+            + counts["trsm"] * kernels.trsm_flops(nb)
+            + counts["syrk"] * kernels.syrk_flops(nb)
+            + counts["gemm"] * kernels.gemm_flops(nb)
+        )
+        assert kernels.cholesky_total_flops(t, nb) == pytest.approx(total)
+
+    def test_total_asymptotics(self):
+        """Total flops approach (t*nb)^3 / 3 for large t."""
+        t, nb = 64, 8
+        n = t * nb
+        assert kernels.cholesky_total_flops(t, nb) == pytest.approx(
+            n**3 / 3, rel=0.1
+        )
+
+    def test_task_counts(self):
+        assert kernels.cholesky_task_counts(4) == {
+            "potrf": 4, "trsm": 6, "syrk": 6, "gemm": 4,
+        }
+
+    def test_gemm_dominates(self):
+        assert kernels.gemm_flops(100) > kernels.syrk_flops(100) > kernels.potrf_flops(100)
+
+
+class TestNumericKernels:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def test_potrf(self):
+        a = random_spd(8, self.rng)
+        l = kernels.potrf(a)
+        assert np.allclose(l @ l.T, a)
+        assert np.allclose(l, np.tril(l))
+
+    def test_trsm_recovers_panel(self):
+        """After trsm, X satisfies X L_kk^T = A_ik."""
+        a_kk = random_spd(6, self.rng)
+        l_kk = kernels.potrf(a_kk)
+        a_ik = self.rng.standard_normal((6, 6))
+        x = kernels.trsm(l_kk, a_ik)
+        assert np.allclose(x @ l_kk.T, a_ik)
+
+    def test_syrk(self):
+        a = random_spd(5, self.rng)
+        l = self.rng.standard_normal((5, 5))
+        assert np.allclose(kernels.syrk(a, l), a - l @ l.T)
+
+    def test_gemm(self):
+        a = self.rng.standard_normal((5, 5))
+        l1 = self.rng.standard_normal((5, 5))
+        l2 = self.rng.standard_normal((5, 5))
+        assert np.allclose(kernels.gemm(a, l1, l2), a - l1 @ l2.T)
+
+    def test_trsv(self):
+        l = np.tril(random_spd(6, self.rng))
+        b = self.rng.standard_normal(6)
+        y = kernels.trsv(l, b)
+        assert np.allclose(l @ y, b)
+
+    def test_gemv_update(self):
+        b = self.rng.standard_normal(4)
+        l = self.rng.standard_normal((4, 4))
+        y = self.rng.standard_normal(4)
+        assert np.allclose(kernels.gemv_update(b, l, y), b - l @ y)
+
+    def test_log_det_from_tile(self):
+        a = random_spd(6, self.rng)
+        l = kernels.potrf(a)
+        expected = np.linalg.slogdet(a)[1]
+        assert kernels.log_det_from_tile(l) == pytest.approx(expected)

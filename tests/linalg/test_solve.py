@@ -1,0 +1,107 @@
+"""Tests for the solve / determinant / dot phases."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    TileGrid,
+    TileStore,
+    numeric_cholesky,
+    numeric_dot,
+    numeric_log_det,
+    numeric_solve,
+    register_vector,
+    submit_cholesky,
+    submit_determinant,
+    submit_dot,
+    submit_solve,
+)
+from repro.runtime import DataRegistry, TaskGraph
+
+
+def random_spd(n, seed=3):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestNumericPhases:
+    def setup_method(self):
+        self.nb, self.t = 4, 4
+        n = self.nb * self.t
+        self.a = random_spd(n)
+        self.y = np.random.default_rng(5).standard_normal(n)
+        self.factor = numeric_cholesky(TileStore.from_matrix(self.a, self.nb))
+
+    def test_solve_matches_direct(self):
+        z = numeric_solve(self.factor, self.y)
+        l = np.linalg.cholesky(self.a)
+        assert np.allclose(z, np.linalg.solve(l, self.y))
+
+    def test_solve_shape_check(self):
+        with pytest.raises(ValueError):
+            numeric_solve(self.factor, np.zeros(3))
+
+    def test_log_det_matches_slogdet(self):
+        assert numeric_log_det(self.factor) == pytest.approx(
+            np.linalg.slogdet(self.a)[1]
+        )
+
+    def test_dot(self):
+        z = np.array([1.0, 2.0, 3.0])
+        assert numeric_dot(z) == pytest.approx(14.0)
+
+    def test_solve_plus_dot_is_quadratic_form(self):
+        """z.z where Lz=y equals y^T Sigma^{-1} y -- the likelihood term."""
+        z = numeric_solve(self.factor, self.y)
+        expected = self.y @ np.linalg.solve(self.a, self.y)
+        assert numeric_dot(z) == pytest.approx(expected)
+
+
+class TestSolveTaskGraph:
+    def build(self, t=4, nb=3):
+        graph = TaskGraph(DataRegistry())
+        tiles = TileGrid(t, nb)
+        tiles.register(graph.registry, lambda i, j: 0)
+        submit_cholesky(graph, tiles)
+        rhs = register_vector(graph.registry, tiles, "y", lambda k: 0)
+        scratch = graph.registry.register("acc", 8.0, home=0)
+        solve = submit_solve(graph, tiles, rhs)
+        det = submit_determinant(graph, tiles, scratch)
+        dot = submit_dot(graph, rhs, nb, scratch)
+        return graph, tiles, solve, det, dot
+
+    def test_task_counts(self):
+        t = 4
+        graph, _, solve, det, dot = self.build(t=t)
+        assert len(solve) == t + t * (t - 1) // 2
+        assert len(det) == t
+        assert len(dot) == t
+
+    def test_acyclic(self):
+        graph, *_ = self.build()
+        graph.validate_acyclic()
+
+    def test_solve_depends_on_factorization(self):
+        graph, tiles, solve, _, _ = self.build(t=3)
+        preds = graph.predecessors()
+        first_trsv = solve[0]
+        # The k=0 solve reads L[0,0], written last by potrf(0).
+        pred_names = {graph.tasks[p].name for p in preds[first_trsv.tid]}
+        assert "potrf" in pred_names
+
+    def test_dot_depends_on_solve(self):
+        graph, _, solve, _, dot = self.build(t=3)
+        preds = graph.predecessors()
+        solve_tids = {t.tid for t in solve}
+        assert any(p in solve_tids for p in preds[dot[0].tid])
+
+    def test_det_tasks_chain_through_scratch(self):
+        graph, _, _, det, _ = self.build(t=3)
+        preds = graph.predecessors()
+        assert det[0].tid in preds[det[1].tid]
+
+    def test_phases_labelled(self):
+        graph, *_ = self.build()
+        phases = {t.phase for t in graph.tasks}
+        assert phases == {"factorization", "solve", "determinant", "dot"}

@@ -1,0 +1,96 @@
+"""Unit tests for the tile grid and numeric tile store."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import TileGrid, TileStore
+from repro.runtime import DataRegistry
+
+
+class TestTileGrid:
+    def test_lower_tiles_count(self):
+        grid = TileGrid(5, 4)
+        assert len(list(grid.lower_tiles())) == 15
+        assert grid.tile_count == 15
+
+    def test_lower_tiles_are_lower(self):
+        assert all(i >= j for i, j in TileGrid(6, 2).lower_tiles())
+
+    def test_sizes(self):
+        grid = TileGrid(3, 10)
+        assert grid.matrix_order == 30
+        assert grid.tile_bytes == 800.0
+        assert grid.matrix_bytes == 800.0 * 6
+
+    def test_register_homes_follow_distribution(self):
+        grid = TileGrid(4, 2)
+        reg = DataRegistry()
+        grid.register(reg, lambda i, j: (i + j) % 3)
+        assert grid.handle(2, 1).home == 0
+        assert grid.handle(3, 1).home == 1
+
+    def test_double_register_rejected(self):
+        grid = TileGrid(2, 2)
+        reg = DataRegistry()
+        grid.register(reg, lambda i, j: 0)
+        with pytest.raises(RuntimeError):
+            grid.register(reg, lambda i, j: 0)
+
+    def test_redistribute_counts_moves(self):
+        grid = TileGrid(3, 2)
+        reg = DataRegistry()
+        grid.register(reg, lambda i, j: 0)
+        moved = grid.redistribute(reg, lambda i, j: i % 2)
+        # Tiles with odd i move: (1,0),(1,1),(3? no t=3)-> i in {1}: (1,0),(1,1)
+        assert moved == 2
+        assert grid.handle(1, 0).home == 1
+
+    def test_redistribute_before_register_rejected(self):
+        with pytest.raises(RuntimeError):
+            TileGrid(2, 2).redistribute(DataRegistry(), lambda i, j: 0)
+
+    def test_upper_tile_access_rejected(self):
+        grid = TileGrid(3, 2)
+        grid.register(DataRegistry(), lambda i, j: 0)
+        with pytest.raises(KeyError):
+            grid.handle(0, 2)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TileGrid(0, 4)
+        with pytest.raises(ValueError):
+            TileGrid(4, 0)
+
+
+class TestTileStore:
+    def setup_method(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((12, 12))
+        self.spd = a @ a.T + 12 * np.eye(12)
+
+    def test_roundtrip_symmetric(self):
+        store = TileStore.from_matrix(self.spd, 4)
+        assert np.allclose(store.to_symmetric_matrix(), self.spd)
+
+    def test_lower_matrix_is_lower(self):
+        store = TileStore.from_matrix(self.spd, 4)
+        low = store.to_lower_matrix()
+        assert np.allclose(low, np.tril(low))
+
+    def test_indivisible_order_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            TileStore.from_matrix(self.spd, 5)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            TileStore.from_matrix(np.zeros((4, 6)), 2)
+
+    def test_setitem_rejects_upper(self):
+        store = TileStore(3, 2)
+        with pytest.raises(KeyError):
+            store[(0, 1)] = np.zeros((2, 2))
+
+    def test_setitem_rejects_wrong_shape(self):
+        store = TileStore(3, 2)
+        with pytest.raises(ValueError):
+            store[(1, 0)] = np.zeros((3, 3))

@@ -1,0 +1,71 @@
+"""Tests for the measurement bank."""
+
+import numpy as np
+import pytest
+
+from repro.measure import MeasurementBank, synthetic_bank
+
+
+@pytest.fixture
+def bank():
+    return synthetic_bank(
+        f=lambda n: 10.0 + 20.0 / n + 0.5 * n,
+        actions=range(2, 11),
+        lp=lambda n: 20.0 / n,
+        group_boundaries=(4, 10),
+        noise_sd=0.2,
+        seed=7,
+        label="test bank",
+    )
+
+
+class TestBankQueries:
+    def test_resample_draws_from_samples(self, bank):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            y = bank.resample(5, rng)
+            assert y in bank.samples[5]
+
+    def test_mean_and_sd(self, bank):
+        assert bank.mean(4) == pytest.approx(np.mean(bank.samples[4]))
+        assert bank.sd(4) == pytest.approx(np.std(bank.samples[4]))
+
+    def test_best_action_near_true_minimum(self, bank):
+        # true min of 10 + 20/n + 0.5n is ~6.3
+        assert bank.best_action() in (5, 6, 7)
+
+    def test_n_total(self, bank):
+        assert bank.n_total == 10
+
+    def test_action_space_roundtrip(self, bank):
+        space = bank.action_space()
+        assert space.actions == bank.actions
+        assert space.lp_bound(4) == pytest.approx(5.0)
+        assert space.group_boundaries == (4, 10)
+
+    def test_validation_missing_samples(self):
+        with pytest.raises(ValueError, match="missing samples"):
+            MeasurementBank(
+                label="x", actions=(1, 2), samples={1: np.array([1.0])}, lp={}
+            )
+
+    def test_true_means_recorded(self, bank):
+        assert bank.true_means[2] == pytest.approx(10.0 + 10.0 + 1.0)
+
+
+class TestBankPersistence:
+    def test_save_load_roundtrip(self, bank, tmp_path):
+        path = tmp_path / "bank.json"
+        bank.save(path)
+        loaded = MeasurementBank.load(path)
+        assert loaded.label == bank.label
+        assert loaded.actions == bank.actions
+        assert loaded.group_boundaries == bank.group_boundaries
+        for n in bank.actions:
+            assert np.allclose(loaded.samples[n], bank.samples[n])
+            assert loaded.lp[n] == pytest.approx(bank.lp[n])
+
+    def test_save_creates_directories(self, bank, tmp_path):
+        path = tmp_path / "deep" / "nested" / "bank.json"
+        bank.save(path)
+        assert path.exists()

@@ -1,0 +1,70 @@
+"""Property-based tests for measurement-bank persistence and resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measure import MeasurementBank
+
+
+@st.composite
+def banks(draw):
+    lo = draw(st.integers(min_value=1, max_value=5))
+    size = draw(st.integers(min_value=1, max_value=12))
+    actions = tuple(range(lo, lo + size))
+    k = draw(st.integers(min_value=1, max_value=8))
+    samples = {}
+    lp = {}
+    for n in actions:
+        base = draw(st.floats(min_value=0.1, max_value=100.0))
+        samples[n] = np.abs(
+            base + np.array(draw(st.lists(
+                st.floats(min_value=-1.0, max_value=1.0),
+                min_size=k, max_size=k,
+            )))
+        )
+        lp[n] = base * 0.5
+    boundaries = (actions[-1],)
+    return MeasurementBank(
+        label="fuzz", actions=actions, samples=samples, lp=lp,
+        group_boundaries=boundaries,
+    )
+
+
+class TestBankProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(bank=banks())
+    def test_json_roundtrip_preserves_everything(self, bank, tmp_path_factory):
+        path = tmp_path_factory.mktemp("banks") / "b.json"
+        bank.save(path)
+        loaded = MeasurementBank.load(path)
+        assert loaded.actions == bank.actions
+        assert loaded.group_boundaries == bank.group_boundaries
+        for n in bank.actions:
+            assert np.allclose(loaded.samples[n], bank.samples[n])
+            assert loaded.lp[n] == pytest.approx(bank.lp[n])
+
+    @settings(max_examples=40, deadline=None)
+    @given(bank=banks(), seed=st.integers(min_value=0, max_value=1000))
+    def test_resample_support(self, bank, seed):
+        """Resampled values always come from the stored samples."""
+        rng = np.random.default_rng(seed)
+        for n in bank.actions:
+            y = bank.resample(n, rng)
+            assert np.any(np.isclose(bank.samples[n], y))
+
+    @settings(max_examples=40, deadline=None)
+    @given(bank=banks())
+    def test_best_action_minimizes_mean(self, bank):
+        best = bank.best_action()
+        assert all(bank.mean(best) <= bank.mean(n) + 1e-12 for n in bank.actions)
+
+    @settings(max_examples=20, deadline=None)
+    @given(bank=banks())
+    def test_action_space_consistent(self, bank):
+        space = bank.action_space()
+        assert space.n_total == bank.n_total
+        assert space.lp_bound(bank.actions[0]) == pytest.approx(
+            bank.lp[bank.actions[0]]
+        )

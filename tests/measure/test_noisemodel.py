@@ -1,0 +1,58 @@
+"""Tests for noise models."""
+
+import numpy as np
+import pytest
+
+from repro.measure import NoiseModel, for_mode
+
+
+class TestNoiseModel:
+    def test_augment_count_and_nonnegative(self):
+        rng = np.random.default_rng(0)
+        samples = NoiseModel(sd=0.5).augment(1.0, 30, rng)
+        assert samples.shape == (30,)
+        assert np.all(samples >= 0)
+
+    def test_sd_matches_configuration(self):
+        rng = np.random.default_rng(1)
+        samples = NoiseModel(sd=0.5).augment(20.0, 5000, rng)
+        assert np.std(samples) == pytest.approx(0.5, rel=0.1)
+        assert np.mean(samples) == pytest.approx(20.0, abs=0.05)
+
+    def test_zero_sd_deterministic(self):
+        rng = np.random.default_rng(2)
+        samples = NoiseModel(sd=0.0).augment(7.0, 10, rng)
+        assert np.all(samples == 7.0)
+
+    def test_outliers_shift_upward(self):
+        rng = np.random.default_rng(3)
+        model = NoiseModel(sd=0.0, outlier_prob=1.0, outlier_shift=(2.0, 3.0))
+        samples = model.augment(10.0, 100, rng)
+        assert np.all(samples >= 12.0)
+        assert np.all(samples <= 13.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sd=-1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(outlier_prob=2.0)
+        with pytest.raises(ValueError):
+            NoiseModel(outlier_shift=(3.0, 1.0))
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            NoiseModel().augment(1.0, 0, rng)
+
+
+class TestForMode:
+    def test_simul_is_paper_sd(self):
+        assert for_mode("Simul").sd == 0.5
+        assert for_mode("Simul").outlier_prob == 0.0
+
+    def test_real_has_outliers(self):
+        model = for_mode("Real")
+        assert model.outlier_prob > 0
+        assert model.sd > 0.5
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            for_mode("Emulated")

@@ -1,0 +1,37 @@
+"""Tests for parallel sweeps (worker-count invariance)."""
+
+import numpy as np
+import pytest
+
+from repro.measure import cached_bank, sweep_scenario
+from repro.platform import get_scenario
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "10")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParallelSweep:
+    def test_identical_to_serial(self):
+        scenario = get_scenario("b")
+        serial = sweep_scenario(scenario, actions=[2, 7, 14], augment=4,
+                                seed=5, workers=1)
+        parallel = sweep_scenario(scenario, actions=[2, 7, 14], augment=4,
+                                  seed=5, workers=2)
+        for n in serial.actions:
+            assert np.allclose(serial.samples[n], parallel.samples[n])
+            assert serial.true_means[n] == parallel.true_means[n]
+            assert serial.lp[n] == pytest.approx(parallel.lp[n])
+
+    def test_rigid_line_parallel(self):
+        scenario = get_scenario("b")
+        bank = sweep_scenario(scenario, actions=[3, 14], augment=3,
+                              include_rigid=True, workers=2)
+        assert set(bank.rigid) == {3, 14}
+
+    def test_cached_bank_env_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        bank = cached_bank(get_scenario("b"), augment=3, seed=8)
+        assert bank.actions[-1] == 14

@@ -1,0 +1,75 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.platform import (
+    B715,
+    CHETEMI,
+    CHIFFLOT,
+    NetworkModel,
+    Node,
+    network_for_site,
+)
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(latency_s=1e-5, backbone_gbps=200.0, efficiency=1.0)
+
+
+def node(nt, idx=0):
+    return Node(index=idx, node_type=nt)
+
+
+class TestNetworkModel:
+    def test_transfer_time_zero_for_self(self, net):
+        a = node(CHETEMI, 0)
+        assert net.transfer_time(a, a, 1e9) == 0.0
+
+    def test_transfer_time_latency_plus_bandwidth(self, net):
+        a, b = node(CHETEMI, 0), node(CHETEMI, 1)
+        expected = 1e-5 + 1e9 / (20e9 / 8)
+        assert net.transfer_time(a, b, 1e9) == pytest.approx(expected)
+
+    def test_bandwidth_is_min_of_nics(self, net):
+        slow, fast = node(CHETEMI, 0), node(CHIFFLOT, 1)
+        assert net.link_bandwidth(slow, fast) == pytest.approx(20e9 / 8)
+
+    def test_cross_site_capped_by_backbone(self):
+        net = NetworkModel(backbone_gbps=5.0, efficiency=1.0)
+        g5k, sd = node(CHETEMI, 0), node(B715, 1)
+        assert net.link_bandwidth(g5k, sd) == pytest.approx(5e9 / 8)
+
+    def test_no_backbone_cap_when_none(self):
+        net = NetworkModel(backbone_gbps=None, efficiency=1.0)
+        g5k, sd = node(CHETEMI, 0), node(B715, 1)
+        assert net.link_bandwidth(g5k, sd) == pytest.approx(20e9 / 8)
+
+    def test_efficiency_scales_bandwidth(self):
+        net = NetworkModel(efficiency=0.5)
+        a, b = node(CHETEMI, 0), node(CHETEMI, 1)
+        assert net.link_bandwidth(a, b) == pytest.approx(0.5 * 20e9 / 8)
+
+    def test_negative_bytes_rejected(self, net):
+        a, b = node(CHETEMI, 0), node(CHETEMI, 1)
+        with pytest.raises(ValueError):
+            net.transfer_time(a, b, -1)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(efficiency=0.0)
+        with pytest.raises(ValueError):
+            NetworkModel(efficiency=1.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_s=-1.0)
+
+
+class TestSiteNetworks:
+    def test_sd_faster_latency_than_g5k(self):
+        assert network_for_site("SD").latency_s < network_for_site("G5K").latency_s
+
+    def test_unknown_site(self):
+        with pytest.raises(ValueError):
+            network_for_site("AWS")

@@ -1,0 +1,73 @@
+"""Unit tests for node and node-type models."""
+
+import pytest
+
+from repro.platform import CHETEMI, CHIFFLOT, Node, NodeType
+
+
+class TestNodeType:
+    def test_total_gflops_sums_cpu_and_gpus(self):
+        assert CHIFFLOT.total_gflops == pytest.approx(900.0 + 2 * 4200.0)
+
+    def test_cpu_only_node_total_equals_cpu(self):
+        assert CHETEMI.total_gflops == CHETEMI.cpu_gflops
+
+    def test_generation_gflops_is_cpu_only(self):
+        assert CHIFFLOT.generation_gflops == CHIFFLOT.cpu_gflops
+
+    def test_nic_bytes_per_s(self):
+        assert CHETEMI.nic_bytes_per_s == pytest.approx(20e9 / 8)
+
+    def test_invalid_category_rejected(self):
+        with pytest.raises(ValueError, match="category"):
+            NodeType(
+                name="x", site="G5K", category="XL", cpu_desc="", gpu_desc="",
+                cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=1.0, memory_gb=1.0,
+            )
+
+    def test_nonpositive_cpu_rejected(self):
+        with pytest.raises(ValueError, match="cpu_gflops"):
+            NodeType(
+                name="x", site="G5K", category="S", cpu_desc="", gpu_desc="",
+                cpu_gflops=0.0, gpus=0, gpu_gflops=0.0, nic_gbps=1.0, memory_gb=1.0,
+            )
+
+    def test_gpu_without_speed_rejected(self):
+        with pytest.raises(ValueError, match="GPU"):
+            NodeType(
+                name="x", site="G5K", category="M", cpu_desc="", gpu_desc="g",
+                cpu_gflops=1.0, gpus=2, gpu_gflops=0.0, nic_gbps=1.0, memory_gb=1.0,
+            )
+
+    def test_zero_cpu_slots_rejected(self):
+        with pytest.raises(ValueError, match="cpu_slots"):
+            NodeType(
+                name="x", site="G5K", category="S", cpu_desc="", gpu_desc="",
+                cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=1.0,
+                memory_gb=1.0, cpu_slots=0,
+            )
+
+    def test_describe_mentions_category_and_machine(self):
+        text = CHIFFLOT.describe()
+        assert "chifflot" in text
+        assert text.startswith("L")
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CHETEMI.cpu_gflops = 1.0
+
+
+class TestNode:
+    def test_default_hostname(self):
+        node = Node(index=3, node_type=CHETEMI)
+        assert node.hostname == "chetemi-3"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Node(index=-1, node_type=CHETEMI)
+
+    def test_category_and_speed_delegate_to_type(self):
+        node = Node(index=0, node_type=CHIFFLOT)
+        assert node.category == "L"
+        assert node.total_gflops == CHIFFLOT.total_gflops
+        assert node.generation_gflops == CHIFFLOT.cpu_gflops

@@ -1,0 +1,70 @@
+"""Unit tests for the 16 evaluation scenarios."""
+
+import pytest
+
+from repro.platform import FIGURE2_KEYS, SCENARIOS, all_scenarios, get_scenario
+
+
+class TestScenarioCatalog:
+    def test_sixteen_scenarios(self):
+        assert len(SCENARIOS) == 16
+        assert sorted(SCENARIOS) == [chr(c) for c in range(ord("a"), ord("q"))]
+
+    def test_figure2_subset(self):
+        assert set(FIGURE2_KEYS) <= set(SCENARIOS)
+
+    def test_all_scenarios_ordered(self):
+        keys = [s.key for s in all_scenarios()]
+        assert keys == sorted(keys)
+
+    def test_get_scenario_unknown(self):
+        with pytest.raises(ValueError):
+            get_scenario("z")
+
+    def test_modes_match_paper(self):
+        real = {k for k, s in SCENARIOS.items() if s.mode == "Real"}
+        assert real == {"a", "b", "c", "g", "h", "m"}
+
+    @pytest.mark.parametrize(
+        "key,label",
+        [
+            ("b", "G5K 2L-6M-6S 101"),
+            ("i", "G5K 6L-30S 101"),
+            ("m", "SD 64L 128"),
+            ("p", "SD 64L-64S 128"),
+        ],
+    )
+    def test_labels(self, key, label):
+        assert get_scenario(key).label == label
+
+    def test_full_label_contains_mode(self):
+        assert get_scenario("i").full_label == "(i) G5K 6L-30S 101 (Simul)"
+
+    @pytest.mark.parametrize(
+        "key,total",
+        [("a", 10), ("b", 14), ("c", 20), ("i", 36), ("m", 64), ("p", 128)],
+    )
+    def test_total_nodes(self, key, total):
+        assert get_scenario(key).total_nodes == total
+
+
+class TestScenarioClusters:
+    @pytest.mark.parametrize("key", sorted(SCENARIOS))
+    def test_build_cluster_sizes(self, key):
+        scenario = get_scenario(key)
+        cluster = scenario.build_cluster()
+        assert len(cluster) == scenario.total_nodes
+
+    def test_cluster_groups_follow_categories(self):
+        cluster = get_scenario("b").build_cluster()
+        assert [g.node_type.category for g in cluster.groups] == ["L", "M", "S"]
+        assert cluster.group_sizes == (2, 6, 6)
+
+    def test_homogeneous_scenario_single_group(self):
+        cluster = get_scenario("m").build_cluster()
+        assert cluster.group_sizes == (64,)
+
+    def test_site_specific_network(self):
+        g5k = get_scenario("b").build_cluster()
+        sd = get_scenario("c").build_cluster()
+        assert g5k.network.latency_s > sd.network.latency_s

@@ -1,0 +1,160 @@
+"""Unit tests for STF dependency inference."""
+
+import pytest
+
+from repro.runtime import DataRegistry, Placement, TaskGraph, chain
+
+
+@pytest.fixture
+def graph():
+    return TaskGraph(DataRegistry())
+
+
+def preds_of(graph, tid):
+    return set(graph.predecessors()[tid])
+
+
+class TestSTFDependencies:
+    def test_read_after_write(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        w = graph.submit("w", "p", 1.0, writes=[a])
+        r = graph.submit("r", "p", 1.0, reads=[a])
+        assert preds_of(graph, r.tid) == {w.tid}
+
+    def test_independent_readers_not_ordered(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        graph.submit("w", "p", 1.0, writes=[a])
+        r1 = graph.submit("r1", "p", 1.0, reads=[a])
+        r2 = graph.submit("r2", "p", 1.0, reads=[a])
+        assert r1.tid not in preds_of(graph, r2.tid)
+        assert r2.tid not in preds_of(graph, r1.tid)
+
+    def test_write_after_read(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        w1 = graph.submit("w1", "p", 1.0, writes=[a])
+        r = graph.submit("r", "p", 1.0, reads=[a])
+        w2 = graph.submit("w2", "p", 1.0, writes=[a])
+        assert preds_of(graph, w2.tid) == {w1.tid, r.tid}
+
+    def test_write_after_write(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        w1 = graph.submit("w1", "p", 1.0, writes=[a])
+        w2 = graph.submit("w2", "p", 1.0, writes=[a])
+        assert preds_of(graph, w2.tid) == {w1.tid}
+
+    def test_rw_task_single_dep(self, graph):
+        """A read-modify-write task (handle in reads and writes) depends on
+        the previous writer exactly once."""
+        a = graph.registry.register("a", 8, home=0)
+        w = graph.submit("w", "p", 1.0, writes=[a])
+        rw = graph.submit("rw", "p", 1.0, reads=[a], writes=[a])
+        assert preds_of(graph, rw.tid) == {w.tid}
+        assert graph.indegree[rw.tid] == 1
+
+    def test_reader_chain_resets_after_write(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        graph.submit("w1", "p", 1.0, writes=[a])
+        graph.submit("r1", "p", 1.0, reads=[a])
+        w2 = graph.submit("w2", "p", 1.0, writes=[a])
+        r2 = graph.submit("r2", "p", 1.0, reads=[a])
+        assert preds_of(graph, r2.tid) == {w2.tid}
+
+    def test_unwritten_handle_read_is_root(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        r = graph.submit("r", "p", 1.0, reads=[a])
+        assert graph.indegree[r.tid] == 0
+
+
+class TestOwnerComputes:
+    def test_node_is_home_of_written_handle(self, graph):
+        a = graph.registry.register("a", 8, home=3)
+        t = graph.submit("w", "p", 1.0, writes=[a])
+        assert t.node == 3
+
+    def test_node_is_home_of_read_when_no_write(self, graph):
+        a = graph.registry.register("a", 8, home=2)
+        t = graph.submit("r", "p", 1.0, reads=[a])
+        assert t.node == 2
+
+    def test_explicit_node_overrides(self, graph):
+        a = graph.registry.register("a", 8, home=2)
+        t = graph.submit("r", "p", 1.0, reads=[a], node=5)
+        assert t.node == 5
+
+    def test_migration_moves_future_tasks(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        t1 = graph.submit("w", "p", 1.0, writes=[a])
+        graph.registry.migrate(a, 7)
+        t2 = graph.submit("w", "p", 1.0, writes=[a])
+        assert (t1.node, t2.node) == (0, 7)
+
+    def test_no_data_no_node_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.submit("t", "p", 1.0)
+
+
+class TestGraphQueries:
+    def test_topological_order_valid(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        b = graph.registry.register("b", 8, home=0)
+        t1 = graph.submit("t1", "p", 1.0, writes=[a])
+        t2 = graph.submit("t2", "p", 1.0, reads=[a], writes=[b])
+        t3 = graph.submit("t3", "p", 1.0, reads=[a, b])
+        order = graph.topological_order()
+        pos = {tid: i for i, tid in enumerate(order)}
+        assert pos[t1.tid] < pos[t2.tid] < pos[t3.tid]
+
+    def test_cycle_detection(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        t1 = graph.submit("t1", "p", 1.0, writes=[a])
+        t2 = graph.submit("t2", "p", 1.0, reads=[a])
+        # Manually corrupt the graph with a back edge.
+        graph.successors[t2.tid].append(t1.tid)
+        graph.indegree[t1.tid] += 1
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate_acyclic()
+
+    def test_total_flops_per_phase(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        graph.submit("t", "gen", 5.0, writes=[a])
+        graph.submit("t", "fact", 7.0, reads=[a])
+        assert graph.total_flops() == 12.0
+        assert graph.total_flops("gen") == 5.0
+
+    def test_counts_by_name(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        graph.submit("x", "p", 1.0, writes=[a])
+        graph.submit("x", "p", 1.0, reads=[a])
+        graph.submit("y", "p", 1.0, reads=[a])
+        assert graph.counts_by_name() == {"x": 2, "y": 1}
+
+    def test_chain_utility(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        b = graph.registry.register("b", 8, home=0)
+        t1 = graph.submit("t1", "p", 1.0, writes=[a])
+        t2 = graph.submit("t2", "p", 1.0, writes=[b])
+        assert graph.indegree[t2.tid] == 0
+        chain(graph, [t1.tid, t2.tid])
+        assert graph.indegree[t2.tid] == 1
+
+    def test_placement_stored(self, graph):
+        a = graph.registry.register("a", 8, home=0)
+        t = graph.submit("t", "p", 1.0, writes=[a], placement=Placement.CPU_ONLY)
+        assert t.placement is Placement.CPU_ONLY
+
+
+class TestRegistry:
+    def test_ids_dense(self, graph):
+        h1 = graph.registry.register("a", 8, home=0)
+        h2 = graph.registry.register("b", 8, home=0)
+        assert (h1.hid, h2.hid) == (0, 1)
+
+    def test_sizes_and_total(self, graph):
+        graph.registry.register("a", 8, home=0)
+        graph.registry.register("b", 16, home=0)
+        assert graph.registry.sizes() == {0: 8.0, 1: 16.0}
+        assert graph.registry.total_bytes() == 24.0
+
+    def test_negative_size_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.registry.register("a", -1, home=0)

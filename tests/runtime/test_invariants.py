@@ -1,0 +1,128 @@
+"""Property-based invariants of the discrete-event simulator.
+
+Random task graphs on random small clusters must always satisfy:
+
+* every task runs exactly once, within the makespan;
+* dependencies are respected (a task starts no earlier than its
+  predecessors finish);
+* no worker runs two tasks at once;
+* scaling all task costs up never decreases the makespan;
+* the makespan is at least the trivial work lower bound.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform import Cluster, NetworkModel, NodeType
+from repro.runtime import DataRegistry, PerfModel, Simulator, TaskGraph
+
+PM = PerfModel(efficiency={("t", "cpu"): 1.0, ("t", "gpu"): 1.0}, overhead_s=0.0)
+NET = NetworkModel(latency_s=0.0, backbone_gbps=None, efficiency=1.0, streams=1)
+
+
+def make_node(speed: float, gpus: int, slots: int) -> NodeType:
+    return NodeType(
+        name=f"n{speed:.0f}g{gpus}", site="SD", category="S",
+        cpu_desc="", gpu_desc="g" if gpus else "",
+        cpu_gflops=speed, gpus=gpus, gpu_gflops=speed * 2 if gpus else 0.0,
+        nic_gbps=8.0, memory_gb=1.0, cpu_slots=slots,
+    )
+
+
+graph_spec = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1e9, max_value=5e9),   # flops
+        st.integers(min_value=0, max_value=5),       # handle to read
+        st.integers(min_value=0, max_value=5),       # handle to write
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+cluster_spec = st.tuples(
+    st.integers(min_value=1, max_value=3),  # node count
+    st.integers(min_value=0, max_value=1),  # gpus per node
+    st.integers(min_value=1, max_value=2),  # cpu slots
+)
+
+
+def build(spec, cspec):
+    n_nodes, gpus, slots = cspec
+    cluster = Cluster([(make_node(1.0, gpus, slots), n_nodes)], network=NET)
+    graph = TaskGraph(DataRegistry())
+    handles = [
+        graph.registry.register(f"h{i}", 1e6, home=i % n_nodes) for i in range(6)
+    ]
+    for flops, r, w in spec:
+        graph.submit("t", "p", flops, reads=[handles[r]], writes=[handles[w]])
+    return cluster, graph
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=graph_spec, cspec=cluster_spec)
+def test_simulator_invariants(spec, cspec):
+    cluster, graph = build(spec, cspec)
+    result = Simulator(cluster, PM, trace=True).run(graph)
+
+    records = {r.tid: r for r in result.task_records}
+    # 1. Every task ran exactly once, inside [0, makespan].
+    assert len(records) == len(graph.tasks)
+    for r in records.values():
+        assert 0.0 <= r.start <= r.end <= result.makespan + 1e-9
+
+    # 2. Dependencies respected.
+    preds = graph.predecessors()
+    for tid, plist in enumerate(preds):
+        for p in plist:
+            assert records[p].end <= records[tid].start + 1e-9
+
+    # 3. Workers never oversubscribed: per (node, kind) at most
+    #    (#workers of that kind) overlapping tasks.
+    per_slot = defaultdict(list)
+    for r in records.values():
+        per_slot[(r.node, r.worker_kind)].append((r.start, r.end))
+    for (node, kind), intervals in per_slot.items():
+        nt = cluster[node].node_type
+        capacity = nt.gpus if kind == "gpu" else nt.cpu_slots
+        events = sorted(
+            [(s, 1) for s, _ in intervals] + [(e, -1) for _, e in intervals],
+            key=lambda t: (t[0], t[1]),
+        )
+        live = 0
+        for _, delta in events:
+            live += delta
+            assert live <= capacity
+
+    # 4. Work lower bound: makespan >= total flops / aggregate speed.
+    total_flops = graph.total_flops()
+    agg = sum(n.total_gflops for n in cluster) * 1e9
+    assert result.makespan >= total_flops / agg - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    spec=graph_spec,
+    cspec=cluster_spec,
+    factor=st.floats(min_value=1.5, max_value=4.0),
+)
+def test_makespan_monotone_in_task_cost(spec, cspec, factor):
+    cluster, graph = build(spec, cspec)
+    base = Simulator(cluster, PM).run(graph).makespan
+
+    scaled_spec = [(f * factor, r, w) for f, r, w in spec]
+    cluster2, graph2 = build(scaled_spec, cspec)
+    scaled = Simulator(cluster2, PM).run(graph2).makespan
+    assert scaled >= base - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=graph_spec, cspec=cluster_spec)
+def test_simulation_deterministic(spec, cspec):
+    cluster, graph = build(spec, cspec)
+    m1 = Simulator(cluster, PM).run(graph).makespan
+    cluster2, graph2 = build(spec, cspec)
+    m2 = Simulator(cluster2, PM).run(graph2).makespan
+    assert m1 == pytest.approx(m2, rel=1e-12)

@@ -1,0 +1,60 @@
+"""Tests for per-task duration jitter (outlier tasks, Section II)."""
+
+import pytest
+
+from repro.platform import Cluster, NetworkModel, NodeType
+from repro.runtime import DataRegistry, PerfModel, Simulator, TaskGraph
+
+UNIT = NodeType(
+    name="unit", site="SD", category="S", cpu_desc="", gpu_desc="",
+    cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=8.0, memory_gb=1.0,
+    cpu_slots=1,
+)
+PM = PerfModel(efficiency={("t", "cpu"): 1.0}, overhead_s=0.0)
+NET = NetworkModel(latency_s=0.0, efficiency=1.0)
+
+
+def build_graph():
+    g = TaskGraph(DataRegistry())
+    a = g.registry.register("a", 0, home=0)
+    for _ in range(10):
+        g.submit("t", "p", 1e9, reads=[a], writes=[a])
+    return g
+
+
+@pytest.fixture
+def cluster():
+    return Cluster([(UNIT, 1)], network=NET)
+
+
+class TestJitter:
+    def test_zero_jitter_deterministic_baseline(self, cluster):
+        m = Simulator(cluster, PM).run(build_graph()).makespan
+        assert m == pytest.approx(10.0)
+
+    def test_jitter_changes_makespan(self, cluster):
+        m0 = Simulator(cluster, PM).run(build_graph()).makespan
+        m1 = Simulator(cluster, PM, jitter_sd=0.2, seed=1).run(build_graph()).makespan
+        assert m1 != pytest.approx(m0)
+
+    def test_jitter_reproducible_with_seed(self, cluster):
+        m1 = Simulator(cluster, PM, jitter_sd=0.2, seed=7).run(build_graph()).makespan
+        m2 = Simulator(cluster, PM, jitter_sd=0.2, seed=7).run(build_graph()).makespan
+        assert m1 == pytest.approx(m2)
+
+    def test_different_seeds_differ(self, cluster):
+        m1 = Simulator(cluster, PM, jitter_sd=0.2, seed=1).run(build_graph()).makespan
+        m2 = Simulator(cluster, PM, jitter_sd=0.2, seed=2).run(build_graph()).makespan
+        assert m1 != pytest.approx(m2)
+
+    def test_durations_never_negative(self, cluster):
+        """Even huge jitter is floored at 10% of the nominal duration."""
+        res = Simulator(
+            cluster, PM, jitter_sd=5.0, seed=3, trace=True
+        ).run(build_graph())
+        for rec in res.task_records:
+            assert rec.end - rec.start >= 0.1 - 1e-9
+
+    def test_negative_sd_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            Simulator(cluster, PM, jitter_sd=-0.1)

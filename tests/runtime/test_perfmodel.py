@@ -1,0 +1,76 @@
+"""Unit tests for the kernel performance model."""
+
+import pytest
+
+from repro.runtime import PerfModel, Placement, Task
+
+
+def task(name="gemm", placement=Placement.ANY, flops=1e9):
+    return Task(
+        tid=0, name=name, phase="p", flops=flops, node=0, placement=placement
+    )
+
+
+class TestPerfModel:
+    def test_duration_formula(self):
+        pm = PerfModel(efficiency={("gemm", "gpu"): 0.5}, overhead_s=0.1)
+        # 1e9 flops at 2 GFlop/s * 0.5 eff = 1 s, plus 0.1 s overhead.
+        assert pm.duration(task(), "gpu", 2.0) == pytest.approx(1.1)
+
+    def test_default_gemm_runs_on_both(self):
+        pm = PerfModel()
+        assert pm.can_run(task("gemm"), "cpu")
+        assert pm.can_run(task("gemm"), "gpu")
+
+    def test_generation_kernel_cpu_only(self):
+        pm = PerfModel()
+        assert pm.can_run(task("dcmg"), "cpu")
+        assert not pm.can_run(task("dcmg"), "gpu")
+
+    def test_placement_restriction(self):
+        pm = PerfModel()
+        t = task("gemm", placement=Placement.CPU_ONLY)
+        assert not pm.can_run(t, "gpu")
+        assert pm.can_run(t, "cpu")
+
+    def test_gpu_only_placement(self):
+        pm = PerfModel()
+        t = task("gemm", placement=Placement.GPU_ONLY)
+        assert pm.can_run(t, "gpu")
+        assert not pm.can_run(t, "cpu")
+
+    def test_duration_rejects_impossible(self):
+        pm = PerfModel()
+        with pytest.raises(ValueError):
+            pm.duration(task("dcmg"), "gpu", 1.0)
+
+    def test_duration_rejects_bad_rate(self):
+        pm = PerfModel()
+        with pytest.raises(ValueError):
+            pm.duration(task("gemm"), "cpu", 0.0)
+
+    def test_gemm_gpu_beats_cpu_at_equal_rate(self):
+        pm = PerfModel(overhead_s=0.0)
+        cpu = pm.duration(task("gemm"), "cpu", 100.0)
+        gpu = pm.duration(task("gemm"), "gpu", 100.0)
+        assert gpu < cpu
+
+    def test_best_rate_picks_fastest_resource(self):
+        pm = PerfModel()
+        # GPU dominates for gemm.
+        assert pm.best_rate("gemm", 100.0, 1000.0) == pytest.approx(1000.0)
+        # potrf is GPU-inefficient: CPU wins here.
+        assert pm.best_rate("potrf", 100.0, 200.0) == pytest.approx(70.0)
+
+    def test_best_rate_cpu_only_kernel(self):
+        pm = PerfModel()
+        assert pm.best_rate("dcmg", 100.0, 1000.0) == pytest.approx(100.0)
+
+    def test_best_rate_unknown_kernel(self):
+        pm = PerfModel()
+        with pytest.raises(ValueError):
+            pm.best_rate("nope", 1.0, 1.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            Task(tid=0, name="t", phase="p", flops=-1.0, node=0)

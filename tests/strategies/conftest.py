@@ -1,0 +1,50 @@
+"""Shared fixtures for strategy tests: synthetic environments."""
+
+import numpy as np
+import pytest
+
+from repro.strategies import ActionSpace
+
+
+def run_env(strategy, f, iterations, noise_sd=0.0, seed=0):
+    """Drive a strategy against a synthetic duration function."""
+    rng = np.random.default_rng(seed)
+    for _ in range(iterations):
+        n = strategy.propose()
+        y = f(n) + (rng.normal(0.0, noise_sd) if noise_sd else 0.0)
+        strategy.observe(n, max(y, 0.0))
+    return strategy
+
+
+def convex(n):
+    """Smooth convex curve with minimum at n = 6."""
+    return 10.0 + 20.0 / n + 0.8 * n - 9.0  # min near sqrt(20/0.8) = 5
+
+
+def stepped(n):
+    """Convex-ish curve with a discontinuity when the S group joins at 9."""
+    base = 5.0 + 40.0 / n + 0.3 * n
+    return base + (6.0 if n > 8 else 0.0)
+
+
+@pytest.fixture
+def space14():
+    """2L-6M-6S-like space: 14 nodes, boundaries (2, 8, 14)."""
+    return ActionSpace(
+        actions=tuple(range(2, 15)),
+        n_total=14,
+        group_boundaries=(2, 8, 14),
+    )
+
+
+@pytest.fixture
+def space14_lp():
+    """Same space with an LP bound: optimistic 1/x floor."""
+    lp = lambda n: 1.0 + 60.0 / n
+
+    return ActionSpace(
+        actions=tuple(range(2, 15)),
+        n_total=14,
+        group_boundaries=(2, 8, 14),
+        lp_bound=lp,
+    )

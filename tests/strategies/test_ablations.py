@@ -1,0 +1,59 @@
+"""Tests for the GP-discontinuous ablation switches."""
+
+import pytest
+
+from repro.strategies import GPDiscontinuousStrategy
+
+from .conftest import run_env, stepped
+
+
+class TestAblationFlags:
+    def test_no_bound_keeps_full_space(self, space14_lp):
+        s = GPDiscontinuousStrategy(space14_lp, use_bound=False)
+        s.observe(14, 12.0)
+        assert s.bound_left_point() == space14_lp.lo
+        assert s._allowed_actions().min() == space14_lp.lo
+
+    def test_bound_prunes_by_default(self, space14_lp):
+        s = GPDiscontinuousStrategy(space14_lp)
+        s.observe(14, 12.0)
+        assert s.bound_left_point() > space14_lp.lo
+
+    def test_no_residual_targets_raw_durations(self, space14_lp):
+        s = GPDiscontinuousStrategy(space14_lp, model_residual=False)
+        s.observe(14, 12.0)
+        s.observe(7, 9.0)
+        assert list(s._targets()) == [12.0, 9.0]
+        assert all(v == 0.0 for v in s._baseline([3, 5]))
+
+    def test_residual_targets_subtract_lp(self, space14_lp):
+        s = GPDiscontinuousStrategy(space14_lp)
+        s.observe(14, 12.0)
+        lp_14 = space14_lp.lp_bound(14)
+        assert s._targets()[0] == pytest.approx(12.0 - lp_14)
+
+    def test_no_dummies_uses_linear_trend(self, space14_lp):
+        from repro.gp import GroupDummyTrend, LinearTrend
+
+        s_on = GPDiscontinuousStrategy(space14_lp)
+        s_off = GPDiscontinuousStrategy(space14_lp, use_dummies=False)
+        import numpy as np
+
+        gp_on = s_on._make_gp(1e-4, np.array([1.0, 2.0]))
+        gp_off = s_off._make_gp(1e-4, np.array([1.0, 2.0]))
+        assert isinstance(gp_on.trend, GroupDummyTrend)
+        assert isinstance(gp_off.trend, LinearTrend)
+
+    def test_all_ablated_still_runs(self, space14_lp):
+        s = GPDiscontinuousStrategy(
+            space14_lp, use_bound=False, use_dummies=False, model_residual=False
+        )
+        s = run_env(s, stepped, 30, noise_sd=0.2, seed=0)
+        assert s.iteration == 30
+        assert all(x in space14_lp.actions for x in s.xs)
+
+    def test_full_version_prefers_optimum_on_stepped(self, space14_lp):
+        s = run_env(GPDiscontinuousStrategy(space14_lp), stepped, 50,
+                    noise_sd=0.2, seed=1)
+        most = max(set(s.xs), key=s.times_selected)
+        assert abs(most - 8) <= 1

@@ -1,0 +1,80 @@
+"""Tests for the UCB bandit strategies."""
+
+import pytest
+
+from repro.strategies import UCBStrategy, UCBStructStrategy
+
+from .conftest import convex, run_env
+
+
+class TestUCB:
+    def test_initial_sweep_covers_all_arms(self, space14):
+        s = UCBStrategy(space14)
+        seen = []
+        for _ in range(len(space14)):
+            n = s.propose()
+            seen.append(n)
+            s.observe(n, convex(n))
+        assert sorted(seen) == list(space14.actions)
+
+    def test_sweep_starts_from_all_nodes(self, space14):
+        assert UCBStrategy(space14).propose() == 14
+
+    def test_exploits_best_arm_eventually(self, space14):
+        s = run_env(UCBStrategy(space14), convex, 200, noise_sd=0.3, seed=1)
+        best = 5  # argmin of convex on 2..14
+        picks = [s.propose() for _ in range(1)]
+        # The most-selected arm should be at/near the optimum.
+        most = max(space14.actions, key=s.times_selected)
+        assert abs(most - best) <= 1
+        assert all(p in space14.actions for p in picks)
+
+    def test_keeps_occasional_exploration(self, space14):
+        s = run_env(UCBStrategy(space14), convex, 300, noise_sd=0.3, seed=2)
+        # every arm selected at least once, several more than once
+        assert all(s.times_selected(a) >= 1 for a in space14.actions)
+
+    def test_full_exploration_is_costly(self, space14):
+        """The sweep forces |A| measurements -- the paper's criticism."""
+        s = UCBStrategy(space14)
+        for _ in range(len(space14)):
+            n = s.propose()
+            s.observe(n, convex(n))
+        assert len(set(s.xs)) == len(space14)
+
+
+class TestUCBStruct:
+    def test_arms_are_group_boundaries(self, space14):
+        s = UCBStructStrategy(space14)
+        seen = set()
+        for _ in range(12):
+            n = s.propose()
+            seen.add(n)
+            s.observe(n, convex(n))
+        assert seen <= {2, 8, 14}
+
+    def test_cannot_reach_interior_optimum(self, space14):
+        """convex has its optimum at 5, which is not a boundary: UCB-struct
+        can never play it (Section IV-C)."""
+        s = run_env(UCBStructStrategy(space14), convex, 100, noise_sd=0.2)
+        assert 5 not in set(s.xs)
+
+    def test_picks_best_boundary(self, space14):
+        s = run_env(UCBStructStrategy(space14), convex, 150, noise_sd=0.2, seed=3)
+        # Among {2, 8, 14}: convex(2)=12.6, convex(8)=9.9, convex(14)=13.6.
+        most = max({2, 8, 14}, key=s.times_selected)
+        assert most == 8
+
+    def test_boundaries_outside_action_range_dropped(self):
+        from repro.strategies import ActionSpace
+
+        space = ActionSpace(
+            actions=tuple(range(6, 15)), n_total=14, group_boundaries=(2, 8, 14)
+        )
+        s = UCBStructStrategy(space)
+        seen = set()
+        for _ in range(6):
+            n = s.propose()
+            seen.add(n)
+            s.observe(n, 1.0)
+        assert seen <= {8, 14}

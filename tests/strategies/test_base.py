@@ -1,0 +1,84 @@
+"""Tests for the strategy base classes and action space."""
+
+import pytest
+
+from repro.strategies import ActionSpace, AllNodesStrategy, OracleStrategy
+
+from .conftest import run_env
+
+
+class TestActionSpace:
+    def test_properties(self, space14):
+        assert space14.lo == 2
+        assert len(space14) == 13
+
+    def test_clip(self, space14):
+        assert space14.clip(1) == 2
+        assert space14.clip(99) == 14
+        assert space14.clip(7) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionSpace(actions=(), n_total=1)
+        with pytest.raises(ValueError):
+            ActionSpace(actions=(3, 2), n_total=3)
+        with pytest.raises(ValueError):
+            ActionSpace(actions=(1, 2), n_total=5)
+
+    def test_from_cluster(self):
+        from repro.platform import get_scenario
+
+        cluster = get_scenario("b").build_cluster()
+        space = ActionSpace.from_cluster(cluster, lo=2)
+        assert space.n_total == 14
+        assert space.group_boundaries == (2, 8, 14)
+        assert space.actions == tuple(range(2, 15))
+
+
+class TestStrategyBookkeeping:
+    def test_all_nodes_always_n(self, space14):
+        s = AllNodesStrategy(space14)
+        assert [s.propose() for _ in range(3)] == [14, 14, 14]
+
+    def test_observe_tracks_stats(self, space14):
+        s = AllNodesStrategy(space14)
+        s.observe(14, 10.0)
+        s.observe(14, 12.0)
+        assert s.iteration == 2
+        assert s.mean_duration(14) == pytest.approx(11.0)
+        assert s.times_selected(14) == 2
+
+    def test_best_observed(self, space14):
+        s = AllNodesStrategy(space14)
+        s.observe(5, 10.0)
+        s.observe(7, 4.0)
+        s.observe(9, 8.0)
+        assert s.best_observed() == 7
+
+    def test_best_observed_empty(self, space14):
+        with pytest.raises(RuntimeError):
+            AllNodesStrategy(space14).best_observed()
+
+    def test_negative_duration_rejected(self, space14):
+        s = AllNodesStrategy(space14)
+        with pytest.raises(ValueError):
+            s.observe(14, -1.0)
+
+    def test_mean_of_unknown_action(self, space14):
+        with pytest.raises(KeyError):
+            AllNodesStrategy(space14).mean_duration(5)
+
+
+class TestOracle:
+    def test_plays_fixed_action(self, space14):
+        s = OracleStrategy(space14, best_action=6)
+        assert [s.propose() for _ in range(3)] == [6, 6, 6]
+
+    def test_validates_action(self, space14):
+        with pytest.raises(ValueError):
+            OracleStrategy(space14, best_action=99)
+
+    def test_run_env_helper(self, space14):
+        s = run_env(OracleStrategy(space14, best_action=6), lambda n: float(n), 5)
+        assert s.iteration == 5
+        assert s.mean_duration(6) == 6.0

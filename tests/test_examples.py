@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs end-to-end (reduced sizes)."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_ENV = {
+    "REPRO_TILES_101": "10",
+    "REPRO_TILES_128": "10",
+}
+
+
+def run_example(name, tmp_path, extra_env=None, timeout=240):
+    env = dict(FAST_ENV)
+    env["REPRO_CACHE_DIR"] = str(tmp_path)
+    if extra_env:
+        env.update(extra_env)
+    import os
+
+    full_env = dict(os.environ)
+    full_env.update(env)
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=full_env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "gain vs all nodes" in out
+        assert "GP-discontinuous" in out
+
+    def test_geostat_likelihood(self, tmp_path):
+        out = run_example("geostat_likelihood.py", tmp_path)
+        assert "estimated range" in out
+
+    def test_custom_cluster(self, tmp_path):
+        out = run_example("custom_cluster.py", tmp_path)
+        assert "best configuration" in out
+
+    def test_trace_timeline(self, tmp_path):
+        out = run_example("trace_timeline.py", tmp_path)
+        assert "fastest: iteration 3" in out
+
+    def test_strategy_comparison_reduced(self, tmp_path):
+        # Pass a small scenario and few reps through argv.
+        import os
+
+        env = dict(os.environ)
+        env.update(FAST_ENV)
+        env["REPRO_CACHE_DIR"] = str(tmp_path)
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "strategy_comparison.py"), "b", "2"],
+            capture_output=True, text=True, timeout=240, env=env,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "GP-discontinuous" in result.stdout
+
+    def test_two_dimensional(self, tmp_path):
+        out = run_example("two_dimensional.py", tmp_path, timeout=400)
+        assert "GP-2D" in out
+        assert "sweep optimum" in out

@@ -1,0 +1,62 @@
+"""Tests for workload definitions."""
+
+import pytest
+
+from repro import config
+from repro.workload import Workload
+
+
+class TestWorkload:
+    def test_matrix_order_close_to_paper(self):
+        wl = Workload.from_name("101")
+        assert wl.matrix_order == pytest.approx(96100, rel=0.01)
+
+    def test_128_bigger_than_101(self):
+        a = Workload.from_name("101")
+        b = Workload.from_name("128")
+        assert b.factorization_total_flops > a.factorization_total_flops
+        assert b.matrix_bytes > a.matrix_bytes
+
+    def test_lower_tile_count(self):
+        wl = Workload(name="101", t=4, nb=10)
+        assert wl.lower_tile_count == 10
+
+    def test_bytes(self):
+        wl = Workload(name="101", t=2, nb=10)
+        assert wl.tile_bytes == 800.0
+        assert wl.matrix_bytes == 800.0 * 3
+
+    def test_generation_flops_scale_with_tile_area(self):
+        a = Workload(name="101", t=4, nb=10)
+        b = Workload(name="101", t=4, nb=20)
+        assert b.generation_flops_per_tile == pytest.approx(
+            4 * a.generation_flops_per_tile
+        )
+
+    def test_factorization_flops_asymptotic(self):
+        wl = Workload.from_name("128")
+        n = wl.matrix_order
+        assert wl.factorization_total_flops == pytest.approx(n**3 / 3, rel=0.15)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Workload.from_name("404")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILES_101", "10")
+        assert Workload.from_name("101").t == 10
+
+    def test_bad_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TILES_101", "1")
+        with pytest.raises(ValueError):
+            Workload.from_name("101")
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert config.tiles_for("101") >= 2
+        assert config.tiles_for("128") >= 2
+
+    def test_cache_dir_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert str(config.cache_dir()) == "/tmp/somewhere"

@@ -1,0 +1,54 @@
+"""Tests for ASCII charts."""
+
+import numpy as np
+import pytest
+
+from repro.viz import heatmap, line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        x = np.arange(10)
+        text = line_plot(x, {"y": x**2}, width=30, height=8)
+        assert "o=y" in text
+        assert "o" in text
+
+    def test_multiple_series_glyphs(self):
+        x = np.arange(5, dtype=float)
+        text = line_plot(x, {"a": x, "b": 4 - x}, width=20, height=6)
+        assert "o=a" in text and "x=b" in text
+
+    def test_constant_series_no_crash(self):
+        x = np.arange(4, dtype=float)
+        assert line_plot(x, {"c": np.ones(4)})
+
+    def test_nan_values_skipped(self):
+        x = np.arange(4, dtype=float)
+        y = np.array([1.0, np.nan, 3.0, 4.0])
+        assert line_plot(x, {"y": y})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3), {})
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3), {"y": np.arange(4)})
+        with pytest.raises(ValueError):
+            line_plot(np.array([]), {"y": np.array([])})
+
+
+class TestHeatmap:
+    def test_shading_extremes(self):
+        grid = np.array([[0.0, 10.0]])
+        text = heatmap(grid, invert=True)
+        line = text.splitlines()[0]
+        assert line[0] == "@"  # best (lowest) is darkest
+        assert line[1] == " "
+
+    def test_labels(self):
+        grid = np.arange(6, dtype=float).reshape(2, 3)
+        text = heatmap(grid, row_labels=[2, 4], col_labels=[1, 2, 3])
+        assert "2" in text and "scale" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.arange(3.0))

@@ -1,0 +1,51 @@
+"""Additional viz coverage: non-inverted heatmaps, timeline helpers."""
+
+import numpy as np
+
+from repro.viz import heatmap
+from repro.viz.ascii import _GLYPHS, _SHADES
+
+
+class TestHeatmapNonInverted:
+    def test_high_values_dark_when_not_inverted(self):
+        grid = np.array([[0.0, 10.0]])
+        line = heatmap(grid, invert=False).splitlines()[0]
+        assert line[0] == " "
+        assert line[1] == "@"
+
+    def test_uniform_grid_no_crash(self):
+        grid = np.full((3, 3), 5.0)
+        text = heatmap(grid)
+        assert "scale" in text
+
+    def test_shade_palette_monotone(self):
+        assert list(_SHADES) == sorted(set(_SHADES), key=_SHADES.index)
+        assert len(_GLYPHS) >= 7  # enough glyphs for the 7 strategies
+
+
+class TestTimelineHelpers:
+    def test_node_busy_sums_phases(self):
+        from repro.platform import Cluster, NetworkModel, NodeType
+        from repro.runtime import (
+            DataRegistry,
+            PerfModel,
+            Simulator,
+            TaskGraph,
+            utilization_timeline,
+        )
+
+        unit = NodeType(
+            name="u", site="SD", category="S", cpu_desc="", gpu_desc="",
+            cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=8.0,
+            memory_gb=1.0, cpu_slots=1,
+        )
+        pm = PerfModel(efficiency={("t", "cpu"): 1.0}, overhead_s=0.0)
+        cluster = Cluster([(unit, 1)], network=NetworkModel(latency_s=0.0))
+        g = TaskGraph(DataRegistry())
+        a = g.registry.register("a", 0, home=0)
+        g.submit("t", "p1", 1e9, writes=[a])
+        g.submit("t", "p2", 1e9, reads=[a], writes=[a])
+        res = Simulator(cluster, pm, trace=True).run(g)
+        tl = utilization_timeline(res, cluster, nbins=8)
+        busy = tl.node_busy(0)
+        assert np.allclose(busy, 1.0)  # node fully busy the whole time
