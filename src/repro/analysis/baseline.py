@@ -1,0 +1,150 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the analysis land with ``--strict`` green while known,
+reviewed findings are burned down over time.  It is a JSON file
+(``analysis-baseline.json`` at the repo root) of entries::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "FLT001",
+          "path": "src/repro/geostat/covariance.py",
+          "context": "if smoothness == 0.5:",
+          "reason": "Matern closed-form dispatch; rewritten in PR 1"
+        }
+      ]
+    }
+
+Matching is content-based (rule id + path + stripped source line), so an
+entry keeps suppressing its finding when unrelated edits shift line
+numbers, and *stops* matching as soon as the offending line changes —
+at which point ``--strict`` reports the entry as stale and it must be
+deleted.  Every entry carries a human-written ``reason``; the CLI's
+``--write-baseline`` stamps a placeholder that review should replace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    context: str
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}|{self.path}|{self.context}"
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings, matched by fingerprint."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    source_path: Optional[Path] = None
+    _hits: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._hits = {entry.fingerprint: 0 for entry in self.entries}
+
+    def matches(self, finding: Finding) -> bool:
+        """True (and counted) when ``finding`` is grandfathered."""
+        if finding.fingerprint in self._hits:
+            self._hits[finding.fingerprint] += 1
+            return True
+        return False
+
+    def stale_entries(
+        self, analyzed_paths: Optional[Iterable[str]] = None
+    ) -> List[BaselineEntry]:
+        """Entries that matched nothing in the last run (must be deleted).
+
+        When ``analyzed_paths`` is given, only entries whose file was
+        actually analyzed can be stale — a partial run (``repro lint
+        src``) must not condemn entries belonging to unscanned trees.
+        """
+        scanned = None if analyzed_paths is None else set(analyzed_paths)
+        return [
+            e for e in self.entries
+            if self._hits.get(e.fingerprint, 0) == 0
+            and (scanned is None or e.path in scanned)
+        ]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls(source_path=path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = []
+        for raw in data.get("entries", []):
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                context=str(raw.get("context", "")),
+                reason=str(raw.get("reason", "")),
+            ))
+        return cls(entries=entries, source_path=path)
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        reason: str = "grandfathered by --write-baseline; review and justify",
+    ) -> "Baseline":
+        """Baseline that suppresses exactly ``findings`` (deduplicated)."""
+        seen = set()
+        entries = []
+        for finding in findings:
+            if finding.fingerprint in seen:
+                continue
+            seen.add(finding.fingerprint)
+            entries.append(BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                context=finding.context,
+                reason=reason,
+            ))
+        return cls(entries=entries)
+
+    def write(self, path: Path) -> None:
+        """Persist deterministically (sorted, trailing newline)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "context": e.context,
+                    "reason": e.reason,
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.context)
+                )
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )

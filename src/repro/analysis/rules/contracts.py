@@ -1,0 +1,256 @@
+"""STRAT001/2/3 — strategy-contract linter.
+
+``Strategy`` (src/repro/strategies/base.py) is the extension point of
+the whole reproduction: every exploration policy subclasses it.  The
+contract a subclass must honour is implicit in the base class and easy
+to violate silently:
+
+* STRAT001 — a concrete subclass must provide ``_next_action`` (itself
+  or through a concrete ancestor); the base raises NotImplementedError.
+* STRAT002 — a concrete subclass must set ``self.name`` (itself or
+  through an ancestor's ``__post_init__``); reports and registries key
+  on it.
+* STRAT003 — any ``__post_init__`` a subclass defines must call
+  ``super().__post_init__()``; skipping it silently loses the seeded
+  RNG and the history/statistics bookkeeping, corrupting every
+  downstream experiment.
+
+The rule builds a textual class hierarchy across the whole corpus
+(:class:`~repro.analysis.engine.ProjectRule`), so ``UCBStructStrategy``
+inheriting ``_next_action`` from ``UCBStrategy`` in the same package is
+understood.  A class is *abstract* (exempt from STRAT001/STRAT002) when
+its own ``_next_action`` body is a bare ``raise NotImplementedError``
+stub, as in the root ``Strategy``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..engine import ParsedModule, ProjectRule, register
+from ..findings import Finding, Severity
+
+ROOT_CLASS = "Strategy"
+
+
+@dataclass
+class ClassInfo:
+    """What the linter needs to know about one class definition."""
+
+    name: str
+    module: ParsedModule
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    sets_name: bool = False
+    post_init_calls_super: bool = False
+
+
+def _base_names(node: ast.ClassDef) -> List[str]:
+    names = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _is_not_implemented_stub(fn: ast.FunctionDef) -> bool:
+    """True for bodies that only ``raise NotImplementedError`` (plus docstring)."""
+    body = [stmt for stmt in fn.body
+            if not (isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str))]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _assigns_self_name(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "name"
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    return True
+    return False
+
+
+def _calls_super_post_init(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__post_init__"
+            and isinstance(node.func.value, ast.Call)
+            and isinstance(node.func.value.func, ast.Name)
+            and node.func.value.func.id == "super"
+        ):
+            return True
+    return False
+
+
+def _dataclass_field_name(node: ast.ClassDef) -> bool:
+    """True when the class body declares a ``name`` dataclass field."""
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == "name"
+        ):
+            return True
+    return False
+
+
+def collect_classes(modules: Sequence[ParsedModule]) -> Dict[str, ClassInfo]:
+    """Index every top-level class definition in the corpus by name."""
+    classes: Dict[str, ClassInfo] = {}
+    for module in modules:
+        for node in module.tree.body if isinstance(module.tree, ast.Module) else []:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = ClassInfo(
+                name=node.name,
+                module=module,
+                node=node,
+                bases=_base_names(node),
+            )
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    info.methods[stmt.name] = stmt
+                    if _assigns_self_name(stmt):
+                        info.sets_name = True
+            post_init = info.methods.get("__post_init__")
+            if post_init is not None:
+                info.post_init_calls_super = _calls_super_post_init(post_init)
+            classes[node.name] = info
+    return classes
+
+
+def strategy_descendants(classes: Dict[str, ClassInfo]) -> Set[str]:
+    """Names of classes whose base chain reaches ``Strategy``."""
+    cache: Dict[str, bool] = {}
+
+    def reaches(name: str, trail: Set[str]) -> bool:
+        if name == ROOT_CLASS:
+            return True
+        if name in cache:
+            return cache[name]
+        info = classes.get(name)
+        if info is None or name in trail:
+            return False
+        result = any(reaches(base, trail | {name}) for base in info.bases)
+        cache[name] = result
+        return result
+
+    return {
+        name for name, info in classes.items()
+        if name != ROOT_CLASS and any(reaches(b, {name}) for b in info.bases)
+    }
+
+
+def _ancestry(name: str, classes: Dict[str, ClassInfo]) -> Iterator[ClassInfo]:
+    """The class and its ancestors (depth-first, cycles guarded)."""
+    seen: Set[str] = set()
+    stack = [name]
+    while stack:
+        current = stack.pop(0)
+        if current in seen:
+            continue
+        seen.add(current)
+        info = classes.get(current)
+        if info is None:
+            continue
+        yield info
+        stack.extend(info.bases)
+
+
+@register
+class StrategyContractRule(ProjectRule):
+    id = "STRAT001"
+    name = "strategy-contract"
+    description = (
+        "Strategy subclasses must provide _next_action (STRAT001), set "
+        "self.name (STRAT002), and call super().__post_init__() in any "
+        "__post_init__ they define (STRAT003)"
+    )
+    severity = Severity.ERROR
+    scopes = ("src",)
+
+    @property
+    def ids(self) -> Sequence[str]:
+        return ("STRAT001", "STRAT002", "STRAT003")
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterator[Finding]:
+        classes = collect_classes(modules)
+        if ROOT_CLASS not in classes:
+            return
+        for name in sorted(strategy_descendants(classes)):
+            info = classes[name]
+            yield from self._check_class(info, classes)
+
+    def _check_class(
+        self, info: ClassInfo, classes: Dict[str, ClassInfo]
+    ) -> Iterator[Finding]:
+        chain = list(_ancestry(info.name, classes))
+
+        # STRAT003 applies even to abstract intermediates: a defined
+        # __post_init__ that drops the chain breaks every descendant.
+        post_init = info.methods.get("__post_init__")
+        if post_init is not None and not info.post_init_calls_super:
+            yield self.finding(
+                info.module, post_init,
+                f"{info.name}.__post_init__ never calls "
+                "super().__post_init__(); the seeded RNG and the "
+                "history/statistics bookkeeping are silently lost",
+                rule_id="STRAT003",
+            )
+
+        if self._is_abstract(info, classes):
+            return
+
+        impls = [
+            c for c in chain
+            if "_next_action" in c.methods
+            and not _is_not_implemented_stub(c.methods["_next_action"])
+        ]
+        if not impls:
+            yield self.finding(
+                info.module, info.node,
+                f"{info.name} is a concrete Strategy subclass but neither "
+                "it nor an ancestor implements _next_action; propose() "
+                "will raise NotImplementedError at runtime",
+                rule_id="STRAT001",
+            )
+
+        sets_name = any(
+            c.sets_name for c in chain if c.name != ROOT_CLASS
+        ) or any(
+            _dataclass_field_name(c.node) for c in chain if c.name != ROOT_CLASS
+        )
+        if not sets_name:
+            yield self.finding(
+                info.module, info.node,
+                f"{info.name} never sets self.name; reports, registries "
+                "and error messages key on the strategy name",
+                rule_id="STRAT002",
+            )
+
+    def _is_abstract(
+        self, info: ClassInfo, classes: Dict[str, ClassInfo]
+    ) -> bool:
+        own = info.methods.get("_next_action")
+        return own is not None and _is_not_implemented_stub(own)

@@ -1,0 +1,82 @@
+"""MUT001 / EXC001 — code-hygiene rules.
+
+* MUT001 — mutable default argument (``def f(x, acc=[])``): the default
+  is evaluated once at definition time and shared across calls, so one
+  strategy instance's history leaks into the next repetition — exactly
+  the cross-run contamination the determinism work guards against.
+* EXC001 — bare ``except:``: swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides real failures inside the measurement loop;
+  catch a concrete exception type (or ``Exception`` with a reason).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ParsedModule, Rule, register
+from ..findings import Finding, Severity
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+        and not node.args
+        and not node.keywords
+    ):
+        return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "MUT001"
+    name = "mutable-default-argument"
+    description = (
+        "mutable default argument shared across calls; default to None "
+        "and allocate inside the function (or use dataclasses.field)"
+    )
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    text = ast.get_source_segment(module.source, default) or "…"
+                    yield self.finding(
+                        module, default,
+                        f"mutable default argument {text} in {node.name}(); "
+                        "it is shared across every call",
+                    )
+
+
+@register
+class BareExceptRule(Rule):
+    id = "EXC001"
+    name = "bare-except"
+    description = (
+        "bare except: swallows KeyboardInterrupt/SystemExit and hides "
+        "failures; catch a concrete exception type"
+    )
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module, node,
+                    "bare except: catches everything including "
+                    "KeyboardInterrupt; name the exception type",
+                )

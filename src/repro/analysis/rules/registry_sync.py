@@ -1,0 +1,154 @@
+"""REG001 / REG002 — registry-coverage check.
+
+``src/repro/strategies/registry.py`` is the single catalogue the
+evaluation drivers instantiate strategies from (``make_strategy``).  A
+concrete strategy that exists but is not registered silently drops out
+of every sweep; a registry entry referencing a class that no longer
+exists blows up the first time that name is requested.  This rule keeps
+the two in sync, both directions:
+
+* REG001 — a concrete ``Strategy`` subclass defined in the strategies
+  package is not referenced by the registry's ``_REGISTRY`` dict.
+* REG002 — ``_REGISTRY`` references a class name that is not a concrete
+  strategy defined in the corpus (deleted, renamed, or abstract).
+
+``OracleStrategy`` is exempt from REG001 by design: it requires the
+clairvoyant ``best_action`` argument, so it cannot be built through the
+uniform ``(space, seed)`` factory signature and is constructed
+explicitly by the evaluation code instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Sequence, Set
+
+from ..engine import ParsedModule, ProjectRule, register
+from ..findings import Finding, Severity
+from .contracts import ClassInfo, collect_classes, strategy_descendants
+
+REGISTRY_DICT = "_REGISTRY"
+
+#: Concrete strategies intentionally outside the uniform factory.
+EXEMPT = {"OracleStrategy"}
+
+
+def _find_registry_module(
+    modules: Sequence[ParsedModule],
+) -> Optional[ParsedModule]:
+    """The module assigning ``_REGISTRY`` at top level (if any)."""
+    for module in modules:
+        if not isinstance(module.tree, ast.Module):
+            continue
+        for node in module.tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and node.target is not None:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == REGISTRY_DICT:
+                    return module
+    return None
+
+
+def _registered_names(module: ParsedModule) -> Dict[str, ast.AST]:
+    """Class names referenced inside the ``_REGISTRY`` dict values.
+
+    Scans every ``Name`` loaded inside the value expressions (factories
+    are usually lambdas), so ``lambda space, seed: UCBStrategy(space,
+    seed)`` registers ``UCBStrategy``.
+    """
+    names: Dict[str, ast.AST] = {}
+    for node in module.tree.body if isinstance(module.tree, ast.Module) else []:
+        value = None
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == REGISTRY_DICT for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            continue
+        for entry in value.values:
+            for sub in ast.walk(entry):
+                if isinstance(sub, ast.Name) and sub.id[:1].isupper():
+                    names.setdefault(sub.id, entry)
+    return names
+
+
+def _abstract(info: ClassInfo) -> bool:
+    from .contracts import _is_not_implemented_stub
+
+    own = info.methods.get("_next_action")
+    return own is not None and _is_not_implemented_stub(own)
+
+
+@register
+class RegistryCoverageRule(ProjectRule):
+    id = "REG001"
+    name = "registry-coverage"
+    description = (
+        "every concrete Strategy subclass in the strategies package is "
+        "registered in _REGISTRY (REG001) and every _REGISTRY entry "
+        "resolves to a defined concrete strategy (REG002)"
+    )
+    severity = Severity.ERROR
+    scopes = ("src",)
+
+    @property
+    def ids(self) -> Sequence[str]:
+        return ("REG001", "REG002")
+
+    def check_project(
+        self, modules: Sequence[ParsedModule]
+    ) -> Iterator[Finding]:
+        registry = _find_registry_module(modules)
+        if registry is None:
+            return
+        # Only classes from the registry's own package take part: the
+        # registry at src/repro/strategies/registry.py governs its
+        # sibling modules, not strategies defined elsewhere in src/.
+        package = registry.rel.rsplit("/", 1)[0]
+        siblings = [m for m in modules if m.rel.rsplit("/", 1)[0] == package]
+        classes = collect_classes(siblings)
+        concrete: Set[str] = {
+            name for name in strategy_descendants(classes)
+            if not _abstract(classes[name])
+        }
+        registered = _registered_names(registry)
+
+        for name in sorted(concrete - set(registered) - EXEMPT):
+            info = classes[name]
+            yield self.finding(
+                info.module, info.node,
+                f"concrete strategy {name} is not registered in "
+                f"{registry.rel}:{REGISTRY_DICT}; it is invisible to "
+                "make_strategy() and every evaluation sweep",
+                rule_id="REG001",
+            )
+
+        known = concrete | set(classes) | EXEMPT
+        for name in sorted(set(registered) - known):
+            yield self.finding(
+                registry, registered[name],
+                f"{REGISTRY_DICT} references {name}, which is not a "
+                "strategy class defined in the strategies package "
+                "(deleted or renamed?)",
+                rule_id="REG002",
+            )
+        for name in sorted(set(registered) & set(classes) - concrete):
+            if name in strategy_descendants(classes):
+                yield self.finding(
+                    registry, registered[name],
+                    f"{REGISTRY_DICT} references {name}, which is an "
+                    "abstract strategy (its _next_action raises "
+                    "NotImplementedError)",
+                    rule_id="REG002",
+                )

@@ -135,6 +135,20 @@ def _cmd_predict(args) -> None:
     print(f"  95% coverage : {out['coverage95']:.0%}")
 
 
+def _cmd_lint(args) -> None:
+    from .analysis.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.strict:
+        argv.append("--strict")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    argv.extend(["--format", args.format])
+    code = lint_main(argv)
+    if code != 0:
+        sys.exit(code)
+
+
 def _cmd_checks(args) -> None:
     from .measure import consistency_report
     from .platform import get_scenario
@@ -205,6 +219,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--range", dest="range_", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser("lint", help="static analysis (determinism, contracts)")
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to analyze (default: src tests benchmarks)")
+    p.add_argument("--strict", action="store_true",
+                   help="fail on any non-baselined finding")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="grandfather current findings into the baseline")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("checks", help="simulator consistency checks")
     p.add_argument("scenario", nargs="?", default="b")

@@ -45,20 +45,28 @@ class MaternParams:
             raise ValueError("nugget must be non-negative")
 
 
+#: Absolute tolerance for dispatching to a closed-form smoothness.  The
+#: Matern kernel is continuous in nu, so within ``1e-12`` of a half-integer
+#: the closed form and the Bessel form agree to machine precision; exact
+#: ``==`` would silently fall through to the (slower, and singular-at-0)
+#: Bessel path for a nu that is one ulp off 0.5.
+_SMOOTHNESS_ATOL = 1e-12
+
+
 def matern_correlation(r: np.ndarray, range_: float, smoothness: float) -> np.ndarray:
     """Matern correlation for distances ``r`` (vectorized).
 
-    Closed forms are used for nu in {1/2, 3/2, 5/2}; the general case uses
-    the modified Bessel function.
+    Closed forms are used for nu within ``1e-12`` of {1/2, 3/2, 5/2};
+    the general case uses the modified Bessel function.
     """
     r = np.asarray(r, dtype=float)
     s = r / range_
-    if smoothness == 0.5:
+    if math.isclose(smoothness, 0.5, rel_tol=0.0, abs_tol=_SMOOTHNESS_ATOL):
         return np.exp(-s)
-    if smoothness == 1.5:
+    if math.isclose(smoothness, 1.5, rel_tol=0.0, abs_tol=_SMOOTHNESS_ATOL):
         c = math.sqrt(3.0) * s
         return (1.0 + c) * np.exp(-c)
-    if smoothness == 2.5:
+    if math.isclose(smoothness, 2.5, rel_tol=0.0, abs_tol=_SMOOTHNESS_ATOL):
         c = math.sqrt(5.0) * s
         return (1.0 + c + c**2 / 3.0) * np.exp(-c)
     nu = smoothness

@@ -18,6 +18,7 @@ from .registry import (
     STRATEGY_ORDER,
     StrategyFactory,
     make_strategy,
+    registered_names,
     strategy_names,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "beta_t",
     "brent_minimizer",
     "make_strategy",
+    "registered_names",
     "strategy_names",
 ]

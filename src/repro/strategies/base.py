@@ -56,9 +56,15 @@ class ActionSpace:
         return len(self.actions)
 
     def clip(self, n: int) -> int:
-        """Nearest allowed action to ``n``."""
-        arr = np.asarray(self.actions)
-        return int(arr[np.abs(arr - n).argmin()])
+        """Nearest allowed action to ``n``.
+
+        Equidistant ties resolve to the *smaller* node count — a
+        documented, deterministic choice (fewer nodes never hurts the
+        iteration per Section IV's monotone communication cost, and the
+        replayed experiments must be bit-reproducible regardless of how
+        the underlying argmin breaks ties).
+        """
+        return min(self.actions, key=lambda a: (abs(a - n), a))
 
     @classmethod
     def from_cluster(

@@ -1,6 +1,15 @@
-"""Registry of the paper's seven exploration strategies.
+"""Registry of every instantiable exploration strategy.
 
-Names and grouping follow Figure 6's x-axis and colour legend:
+The paper's seven strategies (Figure 6's x-axis) keep their names and
+grouping; the extensions that grew alongside the reproduction (annealing,
+stochastic approximation, GP-EI, the windowed GP, and the all-nodes
+default) are registered too so every sweep can reach them by name.  The
+``REG001`` registry-coverage rule of ``repro.analysis`` enforces that
+every concrete ``Strategy`` subclass stays registered (``OracleStrategy``
+is exempt: it needs the clairvoyant ``best_action`` and is constructed
+explicitly by the evaluation code).
+
+Figure 6's seven, with their colour groups:
 
 =================  ===============
 Strategy           Group
@@ -23,13 +32,17 @@ from .bandits import UCBStrategy, UCBStructStrategy
 from .base import ActionSpace, AllNodesStrategy, OracleStrategy, Strategy
 from .brent import BrentStrategy
 from .gp_discontinuous import GPDiscontinuousStrategy
+from .gp_ei import GPEIStrategy
 from .gp_ucb import GPUCBStrategy
 from .naive import DichotomyStrategy, RightLeftStrategy
+from .nonstationary import WindowedGPDiscontinuousStrategy
+from .stochastic import SimulatedAnnealingStrategy, StochasticApproximationStrategy
 
 #: Factory type: (space, seed) -> Strategy.
 StrategyFactory = Callable[[ActionSpace, int], Strategy]
 
 _REGISTRY: Dict[str, StrategyFactory] = {
+    # The paper's seven (Figure 6).
     "DC": lambda space, seed: DichotomyStrategy(space, seed),
     "Right-Left": lambda space, seed: RightLeftStrategy(space, seed),
     "Brent": lambda space, seed: BrentStrategy(space, seed),
@@ -37,6 +50,12 @@ _REGISTRY: Dict[str, StrategyFactory] = {
     "UCB-struct": lambda space, seed: UCBStructStrategy(space, seed),
     "GP-UCB": lambda space, seed: GPUCBStrategy(space, seed),
     "GP-discontinuous": lambda space, seed: GPDiscontinuousStrategy(space, seed),
+    # Extensions beyond the paper.
+    "All-nodes": lambda space, seed: AllNodesStrategy(space, seed),
+    "SANN": lambda space, seed: SimulatedAnnealingStrategy(space, seed),
+    "StochasticApprox": lambda space, seed: StochasticApproximationStrategy(space, seed),
+    "GP-EI": lambda space, seed: GPEIStrategy(space, seed),
+    "GP-discontinuous-windowed": lambda space, seed: WindowedGPDiscontinuousStrategy(space, seed),
 }
 
 #: Figure 6 ordering.
@@ -67,6 +86,11 @@ def strategy_names() -> List[str]:
     return list(STRATEGY_ORDER)
 
 
+def registered_names() -> List[str]:
+    """Every registered strategy name (paper's seven plus extensions)."""
+    return sorted(_REGISTRY)
+
+
 def make_strategy(name: str, space: ActionSpace, seed: int = 0) -> Strategy:
     """Instantiate a strategy by its paper name."""
     try:
@@ -85,5 +109,6 @@ __all__ = [
     "STRATEGY_ORDER",
     "StrategyFactory",
     "make_strategy",
+    "registered_names",
     "strategy_names",
 ]

@@ -1,0 +1,100 @@
+"""Tests for the baseline store: matching, staleness, persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, Finding, all_rules
+from repro.analysis.baseline import BaselineEntry
+
+from .conftest import mk
+
+
+def _finding(context="x == 0.5", rule="FLT001", path="src/m.py"):
+    return Finding(rule=rule, path=path, line=7, message="m", context=context)
+
+
+class TestMatching:
+    def test_matches_by_content_not_line(self):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="FLT001", path="src/m.py", context="x == 0.5", reason="r")])
+        assert baseline.matches(_finding())
+        assert not baseline.matches(_finding(context="y == 0.5"))
+        assert not baseline.matches(_finding(rule="DET001"))
+        assert not baseline.matches(_finding(path="src/other.py"))
+
+    def test_stale_entries(self):
+        used = BaselineEntry(rule="FLT001", path="src/m.py",
+                             context="x == 0.5", reason="r")
+        unused = BaselineEntry(rule="FLT001", path="src/m.py",
+                               context="gone == 1.0", reason="r")
+        baseline = Baseline(entries=[used, unused])
+        baseline.matches(_finding())
+        assert baseline.stale_entries() == [unused]
+
+    def test_partial_run_does_not_condemn_unscanned_entries(self):
+        # An entry for a file outside the analyzed paths is not stale:
+        # `repro lint src` must not invalidate benchmarks/ entries.
+        entry = BaselineEntry(rule="FLT001", path="benchmarks/b.py",
+                              context="x == 0.5", reason="r")
+        baseline = Baseline(entries=[entry])
+        assert baseline.stale_entries(analyzed_paths=["src/m.py"]) == []
+        assert baseline.stale_entries(
+            analyzed_paths=["benchmarks/b.py"]
+        ) == [entry]
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "analysis-baseline.json"
+        Baseline.from_findings([_finding()], reason="why not").write(path)
+        loaded = Baseline.load(path)
+        assert len(loaded.entries) == 1
+        assert loaded.entries[0].reason == "why not"
+        assert loaded.matches(_finding())
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == []
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+    def test_write_is_deterministic(self, tmp_path):
+        findings = [_finding(context="b == 2.0"), _finding(context="a == 1.0")]
+        p1, p2 = tmp_path / "1.json", tmp_path / "2.json"
+        Baseline.from_findings(findings).write(p1)
+        Baseline.from_findings(list(reversed(findings))).write(p2)
+        assert p1.read_text() == p2.read_text()
+
+    def test_from_findings_deduplicates(self):
+        baseline = Baseline.from_findings([_finding(), _finding()])
+        assert len(baseline.entries) == 1
+
+
+class TestEndToEnd:
+    def test_baselined_findings_do_not_fail(self):
+        module = mk("src/m.py", "bad = x == 0.5\n")
+        finding = Analyzer(
+            rules=all_rules(only=["FLT001"]), baseline=Baseline()
+        ).run([module]).findings[0]
+        baseline = Baseline.from_findings([finding])
+        report = Analyzer(
+            rules=all_rules(only=["FLT001"]), baseline=baseline
+        ).run([module])
+        assert report.findings == []
+        assert len(report.baselined) == 1
+        assert report.exit_code(strict=True) == 0
+
+    def test_stale_entry_fails_strict(self):
+        baseline = Baseline(entries=[BaselineEntry(
+            rule="FLT001", path="src/m.py", context="gone", reason="r")])
+        report = Analyzer(
+            rules=all_rules(only=["FLT001"]), baseline=baseline
+        ).run([mk("src/m.py", "x = 1\n")])
+        assert report.stale_baseline == baseline.entries
+        assert report.exit_code(strict=True) == 1
+        assert report.exit_code(strict=False) == 0

@@ -1,0 +1,114 @@
+"""Tests for the ``python -m repro.analysis`` command line."""
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import find_root, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def project(tmp_path):
+    """A miniature repo with one clean and one offending file."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    src = tmp_path / "src"
+    src.mkdir()
+    (src / "clean.py").write_text("x = 1\n")
+    (src / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+    return tmp_path
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestFindRoot:
+    def test_walks_up_to_pyproject(self, project):
+        nested = project / "src"
+        assert find_root(nested) == project
+
+    def test_falls_back_to_start(self, tmp_path):
+        assert find_root(tmp_path) == tmp_path.resolve()
+
+
+class TestMain:
+    def test_findings_exit_1(self, project):
+        code, out = run(["--root", str(project)])
+        assert code == 1
+        assert "MUT001" in out and "src/bad.py" in out
+
+    def test_clean_tree_exit_0(self, project):
+        (project / "src" / "bad.py").unlink()
+        code, out = run(["--root", str(project)])
+        assert code == 0
+        assert "0 findings" in out
+
+    def test_warning_passes_default_fails_strict(self, project):
+        (project / "src" / "bad.py").write_text("ok = x == 0.5\n")
+        assert run(["--root", str(project)])[0] == 0
+        assert run(["--root", str(project), "--strict"])[0] == 1
+
+    def test_json_format(self, project):
+        code, out = run(["--root", str(project), "--format", "json"])
+        payload = json.loads(out)
+        assert payload["exit_code"] == code == 1
+        assert payload["findings"][0]["rule"] == "MUT001"
+
+    def test_write_baseline_then_strict_green(self, project):
+        code, _ = run(["--root", str(project), "--write-baseline"])
+        assert code == 0
+        assert (project / "analysis-baseline.json").exists()
+        code, out = run(["--root", str(project), "--strict"])
+        assert code == 0
+        assert "1 baselined" in out
+
+    def test_stale_baseline_fails_strict(self, project):
+        run(["--root", str(project), "--write-baseline"])
+        (project / "src" / "bad.py").write_text("x = 1\n")
+        code, out = run(["--root", str(project), "--strict"])
+        assert code == 1
+        assert "stale" in out
+
+    def test_no_baseline_flag(self, project):
+        run(["--root", str(project), "--write-baseline"])
+        assert run(["--root", str(project), "--no-baseline"])[0] == 1
+
+    def test_select(self, project):
+        code, out = run(["--root", str(project), "--select", "FLT001"])
+        assert code == 0  # MUT001 not selected
+
+    def test_unknown_select_is_usage_error(self, project):
+        assert run(["--root", str(project), "--select", "NOPE1"])[0] == 2
+
+    def test_list_rules(self):
+        code, out = run(["--list-rules"])
+        assert code == 0
+        for rule_id in ("DET001", "STRAT001", "FLT001", "MUT001",
+                        "EXC001", "REG001"):
+            assert rule_id in out
+
+    def test_explicit_paths(self, project):
+        code, out = run(["src/clean.py", "--root", str(project)])
+        assert code == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_strict_on_repo(self):
+        if not (REPO_ROOT / "pyproject.toml").exists():
+            pytest.skip("repo root not found")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "--strict"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,121 @@
+"""STRAT001/2/3 fixtures: the strategy-contract linter."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+RULES = all_rules(only=["STRAT001"])
+
+
+def findings(*modules):
+    return run_rules(RULES, *modules)
+
+
+class TestNextAction:
+    def test_missing_next_action_flagged(self, strategy_base):
+        out = findings(strategy_base, mk("src/pkg/strategies/broken.py", """
+            class BrokenStrategy(Strategy):
+                def __post_init__(self):
+                    super().__post_init__()
+                    self.name = "Broken"
+        """))
+        assert [f.rule for f in out] == ["STRAT001"]
+        assert "BrokenStrategy" in out[0].message
+
+    def test_inherited_from_concrete_parent_ok(self, strategy_base):
+        assert not findings(strategy_base, mk("src/pkg/strategies/ok.py", """
+            class ParentStrategy(Strategy):
+                def __post_init__(self):
+                    super().__post_init__()
+                    self.name = "Parent"
+
+                def _next_action(self):
+                    return 1
+
+            class ChildStrategy(ParentStrategy):
+                def __post_init__(self):
+                    super().__post_init__()
+                    self.name = "Child"
+        """))
+
+    def test_abstract_intermediate_exempt(self, strategy_base):
+        # A subclass whose own _next_action is a NotImplementedError stub
+        # is an abstract intermediate, not a violation.
+        assert not findings(strategy_base, mk("src/pkg/strategies/abs.py", """
+            class AbstractMixinStrategy(Strategy):
+                def __post_init__(self):
+                    super().__post_init__()
+                    self.name = "abstract"
+
+                def _next_action(self):
+                    raise NotImplementedError
+        """))
+
+
+class TestName:
+    def test_missing_name_flagged(self, strategy_base):
+        out = findings(strategy_base, mk("src/pkg/strategies/anon.py", """
+            class AnonStrategy(Strategy):
+                def _next_action(self):
+                    return 1
+        """))
+        assert [f.rule for f in out] == ["STRAT002"]
+
+    def test_name_set_by_ancestor_ok(self, strategy_base):
+        assert not findings(strategy_base, mk("src/pkg/strategies/ok.py", """
+            class NamedStrategy(Strategy):
+                def __post_init__(self):
+                    super().__post_init__()
+                    self.name = "Named"
+
+                def _next_action(self):
+                    return 1
+
+            class SubStrategy(NamedStrategy):
+                pass
+        """))
+
+
+class TestSuperPostInit:
+    def test_missing_super_call_flagged(self, strategy_base):
+        out = findings(strategy_base, mk("src/pkg/strategies/drop.py", """
+            class DropStrategy(Strategy):
+                def __post_init__(self):
+                    self.name = "Drop"
+
+                def _next_action(self):
+                    return 1
+        """))
+        assert [f.rule for f in out] == ["STRAT003"]
+        assert "super().__post_init__" in out[0].message
+
+    def test_no_post_init_defined_ok(self, strategy_base):
+        # Not defining __post_init__ at all inherits the parent's: fine.
+        assert not findings(strategy_base, mk("src/pkg/strategies/ok.py", """
+            class QuietStrategy(Strategy):
+                def _next_action(self):
+                    return 1
+
+                def other(self):
+                    self.name = "Quiet"
+        """))
+
+
+class TestScope:
+    def test_non_strategy_classes_ignored(self, strategy_base):
+        assert not findings(strategy_base, mk("src/pkg/other.py", """
+            class Helper:
+                def __post_init__(self):
+                    self.name = "not a strategy"
+        """))
+
+    def test_rule_skipped_outside_src(self):
+        assert not findings(mk("tests/fake.py", """
+            class Strategy:
+                def _next_action(self):
+                    raise NotImplementedError
+
+            class NoNameStrategy(Strategy):
+                def _next_action(self):
+                    return 1
+        """))

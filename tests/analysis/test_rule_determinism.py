@@ -1,0 +1,101 @@
+"""DET001 fixtures: global RNG state and wall-clock reads."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+RULES = all_rules(only=["DET001"])
+
+
+def findings(rel, src):
+    return run_rules(RULES, mk(rel, src))
+
+
+class TestNumpyGlobalState:
+    def test_np_random_seed_flagged(self):
+        out = findings("src/m.py", """
+            import numpy as np
+            np.random.seed(42)
+        """)
+        assert [f.rule for f in out] == ["DET001"]
+        assert "hidden global RNG" in out[0].message
+
+    def test_np_random_fns_flagged(self):
+        src = """
+            import numpy as np
+            a = np.random.rand(3)
+            b = np.random.choice([1, 2])
+            c = np.random.normal(0.0, 1.0)
+        """
+        assert len(findings("src/m.py", src)) == 3
+
+    def test_numpy_alias_flagged(self):
+        assert findings("src/m.py", """
+            import numpy
+            numpy.random.shuffle(xs)
+        """)
+
+    def test_default_rng_ok(self):
+        assert not findings("src/m.py", """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.normal()
+        """)
+
+    def test_generator_annotation_ok(self):
+        assert not findings("src/m.py", """
+            import numpy as np
+
+            def sample(rng: np.random.Generator) -> float:
+                return float(rng.random())
+        """)
+
+
+class TestStdlibRandom:
+    def test_module_call_flagged(self):
+        out = findings("src/m.py", """
+            import random
+            x = random.random()
+        """)
+        assert out and "global state" in out[0].message
+
+    def test_from_import_flagged(self):
+        out = findings("src/m.py", """
+            from random import choice
+            x = choice([1, 2])
+        """)
+        # Both the import itself and the call are reported.
+        assert len(out) == 2
+
+    def test_unrelated_attribute_ok(self):
+        assert not findings("src/m.py", """
+            x = rng.random()
+        """)
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        out = findings("src/m.py", """
+            import time
+            t = time.time()
+        """)
+        assert out and "wall clock" in out[0].message
+
+    def test_datetime_now_flagged(self):
+        assert findings("src/m.py", """
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+
+    def test_perf_counter_ok(self):
+        assert not findings("src/m.py", """
+            import time
+            t0 = time.perf_counter()
+        """)
+
+
+class TestScope:
+    def test_only_src_is_audited(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert not findings("tests/m.py", src)
+        assert not findings("benchmarks/m.py", src)

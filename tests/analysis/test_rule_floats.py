@@ -1,0 +1,53 @@
+"""FLT001 fixtures: the float-equality detector."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+RULES = all_rules(only=["FLT001"])
+
+
+def findings(src, rel="src/m.py"):
+    return run_rules(RULES, mk(rel, src))
+
+
+class TestPositive:
+    def test_eq_float_literal(self):
+        out = findings("if smoothness == 0.5:\n    pass\n")
+        assert [f.rule for f in out] == ["FLT001"]
+        assert "0.5" in out[0].message
+
+    def test_neq_float_literal(self):
+        assert findings("ok = x != 1.0\n")
+
+    def test_literal_on_left(self):
+        assert findings("ok = 0.0 == err\n")
+
+    def test_negative_literal(self):
+        assert findings("ok = x == -2.5\n")
+
+    def test_chained_comparison(self):
+        assert findings("ok = a < b == 0.5\n")
+
+    def test_benchmarks_in_scope(self):
+        assert findings("assert err == 0.0\n", rel="benchmarks/bench_x.py")
+
+
+class TestNegative:
+    def test_int_literal_ok(self):
+        assert not findings("ok = n == 5\n")
+
+    def test_inequality_ok(self):
+        assert not findings("ok = x <= 0.5\n")
+
+    def test_float_vs_float_vars_not_flagged(self):
+        # Without type inference, variable-vs-variable is out of scope.
+        assert not findings("ok = a == b\n")
+
+    def test_isclose_rewrite_ok(self):
+        assert not findings(
+            "import math\nok = math.isclose(x, 0.5, abs_tol=1e-12)\n"
+        )
+
+    def test_tests_dir_out_of_scope(self):
+        assert not findings("assert x == 0.5\n", rel="tests/test_m.py")

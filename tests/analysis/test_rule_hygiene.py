@@ -1,0 +1,64 @@
+"""MUT001 / EXC001 fixtures: hygiene rules."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+
+def findings(rule, src, rel="src/m.py"):
+    return run_rules(all_rules(only=[rule]), mk(rel, src))
+
+
+class TestMutableDefaults:
+    def test_list_literal_flagged(self):
+        out = findings("MUT001", "def f(xs=[]):\n    return xs\n")
+        assert [f.rule for f in out] == ["MUT001"]
+        assert "f()" in out[0].message
+
+    def test_dict_set_and_constructor_flagged(self):
+        src = (
+            "def f(a={}, b=set(), c=list()):\n"
+            "    return a, b, c\n"
+        )
+        assert len(findings("MUT001", src)) == 3
+
+    def test_kwonly_default_flagged(self):
+        assert findings("MUT001", "def f(*, acc=[]):\n    return acc\n")
+
+    def test_none_default_ok(self):
+        assert not findings("MUT001", "def f(xs=None):\n    return xs\n")
+
+    def test_tuple_and_frozen_ok(self):
+        assert not findings(
+            "MUT001", "def f(xs=(), y=1, name='x'):\n    return xs\n"
+        )
+
+    def test_constructor_with_args_ok(self):
+        # dict(a=1) builds a fresh value but is still shared; however a
+        # non-empty constructor usually signals a deliberate constant —
+        # the rule keeps to the unambiguous empty forms.
+        assert not findings("MUT001", "def f(x=dict(a=1)):\n    return x\n")
+
+    def test_applies_everywhere(self):
+        src = "def f(xs=[]):\n    return xs\n"
+        assert findings("MUT001", src, rel="tests/test_m.py")
+        assert findings("MUT001", src, rel="benchmarks/bench_m.py")
+
+
+class TestBareExcept:
+    def test_bare_except_flagged(self):
+        out = findings(
+            "EXC001", "try:\n    x()\nexcept:\n    pass\n"
+        )
+        assert [f.rule for f in out] == ["EXC001"]
+
+    def test_typed_except_ok(self):
+        assert not findings(
+            "EXC001", "try:\n    x()\nexcept ValueError:\n    pass\n"
+        )
+
+    def test_exception_base_ok(self):
+        # `except Exception` is allowed (it spares KeyboardInterrupt).
+        assert not findings(
+            "EXC001", "try:\n    x()\nexcept Exception as e:\n    raise\n"
+        )

@@ -1,0 +1,103 @@
+"""REG001/REG002 fixtures: the registry-coverage check."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+RULES = all_rules(only=["REG001"])
+
+BASE = """
+    class Strategy:
+        def _next_action(self):
+            raise NotImplementedError
+
+    class GoodStrategy(Strategy):
+        def _next_action(self):
+            return 1
+"""
+
+
+def registry(*entries):
+    lines = ["_REGISTRY = {"] + [f"    {e}" for e in entries] + ["}"]
+    return mk("src/pkg/strategies/registry.py", "\n".join(lines) + "\n")
+
+
+class TestUnregistered:
+    def test_unregistered_concrete_strategy_flagged(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE + """
+    class ForgottenStrategy(Strategy):
+        def _next_action(self):
+            return 2
+"""),
+            registry('"Good": lambda space, seed: GoodStrategy(space, seed),'),
+        )
+        assert [f.rule for f in out] == ["REG001"]
+        assert "ForgottenStrategy" in out[0].message
+
+    def test_fully_registered_ok(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE),
+            registry('"Good": lambda space, seed: GoodStrategy(space, seed),'),
+        )
+        assert out == []
+
+    def test_oracle_exempt(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE + """
+    class OracleStrategy(Strategy):
+        def _next_action(self):
+            return 3
+"""),
+            registry('"Good": lambda space, seed: GoodStrategy(space, seed),'),
+        )
+        assert out == []
+
+    def test_abstract_intermediate_not_required(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE + """
+    class AbstractStrategy(Strategy):
+        def _next_action(self):
+            raise NotImplementedError
+"""),
+            registry('"Good": lambda space, seed: GoodStrategy(space, seed),'),
+        )
+        assert out == []
+
+
+class TestDangling:
+    def test_registry_entry_for_missing_class_flagged(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE),
+            registry(
+                '"Good": lambda space, seed: GoodStrategy(space, seed),',
+                '"Gone": lambda space, seed: DeletedStrategy(space, seed),',
+            ),
+        )
+        assert [f.rule for f in out] == ["REG002"]
+        assert "DeletedStrategy" in out[0].message
+
+    def test_strategies_outside_package_ignored(self):
+        out = run_rules(
+            RULES,
+            mk("src/pkg/strategies/base.py", BASE),
+            registry('"Good": lambda space, seed: GoodStrategy(space, seed),'),
+            mk("src/pkg/other/extra.py", """
+    class Strategy:
+        def _next_action(self):
+            raise NotImplementedError
+
+    class ElsewhereStrategy(Strategy):
+        def _next_action(self):
+            return 9
+"""),
+        )
+        assert out == []
+
+    def test_no_registry_module_no_findings(self):
+        assert run_rules(RULES, mk("src/pkg/strategies/base.py", BASE)) == []

@@ -17,6 +17,15 @@ class TestActionSpace:
         assert space14.clip(99) == 14
         assert space14.clip(7) == 7
 
+    def test_clip_tie_prefers_smaller(self):
+        # Equidistant ties must deterministically resolve to the
+        # smaller node count (documented contract).
+        space = ActionSpace(actions=(2, 4, 8, 10), n_total=10)
+        assert space.clip(3) == 2    # tie between 2 and 4
+        assert space.clip(6) == 4    # tie between 4 and 8
+        assert space.clip(9) == 8    # tie between 8 and 10
+        assert space.clip(5) == 4    # no tie: nearest wins
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ActionSpace(actions=(), n_total=1)

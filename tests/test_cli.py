@@ -78,3 +78,33 @@ class TestCommands:
         assert main(["checks", "b"]) == 0
         out = capsys.readouterr().out
         assert "PASS" in out and "FAIL" not in out
+
+
+class TestLint:
+    def test_lint_parses(self):
+        args = build_parser().parse_args(["lint", "--strict"])
+        assert callable(args.fn)
+
+    def test_lint_repo_is_clean(self, capsys):
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_lint_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 0
+        assert payload["files_analyzed"] > 100
+
+    def test_lint_findings_exit_nonzero(self, tmp_path, capsys, monkeypatch):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["lint", "--strict"])
+        assert exc.value.code == 1
+        assert "MUT001" in capsys.readouterr().out
