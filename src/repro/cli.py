@@ -135,6 +135,57 @@ def _cmd_predict(args) -> None:
     print(f"  95% coverage : {out['coverage95']:.0%}")
 
 
+def _cmd_bench(args) -> None:
+    from .evaluate.bench import DEFAULT_OUT, run_harness_benchmark
+    from .platform import SCENARIOS
+    from .strategies.registry import registered_names
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        sys.exit(2)
+    keys = list(args.scenarios)
+    if keys == ["all"]:
+        keys = sorted(SCENARIOS)
+    unknown = [k for k in keys if k not in SCENARIOS]
+    if unknown:
+        print(f"error: unknown scenario(s) {unknown}; valid keys: "
+              f"{sorted(SCENARIOS)} or 'all'", file=sys.stderr)
+        sys.exit(2)
+    bad = [s for s in args.strategies if s not in registered_names()]
+    if bad:
+        print(f"error: unknown strategy(s) {bad}; registered: "
+              f"{registered_names()}", file=sys.stderr)
+        sys.exit(2)
+
+    from pathlib import Path
+
+    out = Path(args.out) if args.out else DEFAULT_OUT
+    spill = None if args.no_spill else out.parent / "BENCH_durations.json"
+    report = run_harness_benchmark(
+        scenario_keys=keys,
+        strategies=args.strategies,
+        iterations=args.iterations,
+        reps=args.reps,
+        workers=args.workers,
+        out_path=out,
+        spill_path=spill,
+        progress=True,
+    )
+    cache = report["cache"]
+    print(f"harness bench: {len(keys)} scenario(s), "
+          f"{len(args.strategies)} strategies, reps={args.reps}, "
+          f"workers={args.workers}")
+    print(f"  serial   : {report['serial_seconds']:.2f} s")
+    print(f"  parallel : {report['parallel_seconds']:.2f} s "
+          f"(speedup {report['speedup']:.2f}x, warm cache hit rate "
+          f"{cache['hit_rate']:.0%})")
+    print(f"  identical: {report['identical']}")
+    print(f"  report   : {out}")
+    if not report["identical"]:
+        sys.exit(1)
+
+
 def _cmd_lint(args) -> None:
     from .analysis.cli import main as lint_main
 
@@ -219,6 +270,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--range", dest="range_", type=float, default=0.2)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the parallel+cache harness (BENCH_harness.json)",
+    )
+    p.add_argument("--scenarios", nargs="+", default=["c", "i", "p"],
+                   help="scenario keys a..p, or 'all' for the Figure 5 set")
+    p.add_argument("--strategies", nargs="+",
+                   default=["DC", "Right-Left", "UCB"])
+    p.add_argument("--iterations", type=int, default=40)
+    p.add_argument("--reps", type=int, default=5)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--out", default="",
+                   help="report path (default benchmarks/out/BENCH_harness.json)")
+    p.add_argument("--no-spill", action="store_true",
+                   help="do not warm/persist the duration cache on disk")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("lint", help="static analysis (determinism, contracts)")
     p.add_argument("paths", nargs="*",

@@ -5,13 +5,19 @@ drawing iteration durations from the precomputed bank ("resampled in R
 every time an action was chosen"), repeated 30 times; the mean total time
 is compared to the all-nodes baseline and to the clairvoyant best
 configuration.
+
+Every (scenario, strategy, repetition) cell is independent, so the grid
+optionally fans out over a process pool (``workers=``): seeds are derived
+per cell by :func:`repro.evaluate.parallel.derive_cell_seed` and results
+are collected in deterministic order, making any worker count
+byte-identical to the serial path (``workers=1``, the default, which
+preserves the historical behaviour exactly).
 """
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,18 +31,25 @@ from ..strategies import (
     make_strategy,
 )
 from .metrics import StrategySummary, summarize
+from .parallel import (
+    ALL_NODES_CELL,
+    ORACLE_CELL,
+    CellResult,
+    EvalCell,
+    ProgressFn,
+    derive_cell_seed,
+    plan_cells,
+    run_cell_trace,
+    run_cells,
+    stderr_progress,
+)
 
 
 def run_strategy_once(
     strategy, bank: MeasurementBank, iterations: int, rng: np.random.Generator
 ) -> float:
     """One run: total time over ``iterations`` resampled iterations."""
-    total = 0.0
-    for _ in range(iterations):
-        n = strategy.propose()
-        y = bank.resample(n, rng)
-        strategy.observe(n, y)
-        total += y
+    total, _, _ = run_cell_trace(strategy, bank, iterations, rng)
     return total
 
 
@@ -46,12 +59,23 @@ def run_strategy(
     iterations: int = config.EVAL_ITERATIONS,
     reps: int = config.EVAL_REPETITIONS,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> np.ndarray:
-    """Totals of ``reps`` independent runs of a named strategy."""
+    """Totals of ``reps`` independent runs of a named strategy.
+
+    ``workers > 1`` fans repetitions out over a process pool; totals are
+    bit-identical to the serial path for any worker count.
+    """
+    if workers > 1:
+        cells = [EvalCell("_", name, rep) for rep in range(reps)]
+        results = run_cells(
+            {"_": bank}, cells, iterations, base_seed, workers=workers
+        )
+        return np.asarray([r.total for r in results])
     space = bank.action_space()
     totals = []
     for rep in range(reps):
-        rng = np.random.default_rng((base_seed, rep, zlib.crc32(name.encode())))
+        rng = np.random.default_rng(derive_cell_seed(name, rep, base_seed))
         strategy = make_strategy(name, space, seed=rep + base_seed)
         totals.append(run_strategy_once(strategy, bank, iterations, rng))
     return np.asarray(totals)
@@ -62,9 +86,14 @@ def _baseline_totals(
     base_seed: int, **kwargs,
 ) -> np.ndarray:
     space = bank.action_space()
+    cell_name = (
+        ALL_NODES_CELL if strategy_cls is AllNodesStrategy else ORACLE_CELL
+    )
     totals = []
     for rep in range(reps):
-        rng = np.random.default_rng((base_seed, rep, 0xBA5E))
+        rng = np.random.default_rng(
+            derive_cell_seed(cell_name, rep, base_seed)
+        )
         strategy = strategy_cls(space, seed=rep, **kwargs)
         totals.append(run_strategy_once(strategy, bank, iterations, rng))
     return np.asarray(totals)
@@ -92,14 +121,60 @@ class ScenarioEvaluation:
         return min(self.summaries, key=lambda s: s.mean_total)
 
 
+def assemble_evaluations(
+    banks: Dict[str, MeasurementBank],
+    strategies: Sequence[str],
+    results: Sequence[CellResult],
+) -> Dict[str, ScenarioEvaluation]:
+    """Aggregate ordered cell results into per-scenario evaluations.
+
+    Results must come from :func:`repro.evaluate.parallel.run_cells` over
+    a :func:`plan_cells` plan (repetition order within each (scenario,
+    strategy) group is what makes the aggregation byte-identical to the
+    serial path).
+    """
+    totals: Dict[tuple, List[float]] = {}
+    for result in results:
+        key = (result.cell.scenario, result.cell.strategy)
+        totals.setdefault(key, []).append(result.total)
+
+    out: Dict[str, ScenarioEvaluation] = {}
+    for key in sorted(banks):
+        bank = banks[key]
+        all_nodes = np.asarray(totals[(key, ALL_NODES_CELL)])
+        oracle = np.asarray(totals[(key, ORACLE_CELL)])
+        evaluation = ScenarioEvaluation(
+            label=bank.label,
+            all_nodes_mean=float(np.mean(all_nodes)),
+            oracle_mean=float(np.mean(oracle)),
+            best_action=bank.best_action(),
+        )
+        for name in strategies:
+            arr = np.asarray(totals[(key, name)])
+            evaluation.summaries.append(
+                summarize(name, STRATEGY_GROUPS.get(name, "?"), arr,
+                          evaluation.all_nodes_mean)
+            )
+        out[key] = evaluation
+    return out
+
+
 def evaluate_scenario(
     bank: MeasurementBank,
     strategies: Sequence[str] = STRATEGY_ORDER,
     iterations: int = config.EVAL_ITERATIONS,
     reps: int = config.EVAL_REPETITIONS,
     base_seed: int = 0,
+    workers: int = 1,
 ) -> ScenarioEvaluation:
     """Run every strategy on one bank (one Figure 6 panel)."""
+    if workers > 1:
+        label = getattr(bank, "label", "_")
+        cells = plan_cells([label], strategies, reps)
+        results = run_cells(
+            {label: bank}, cells, iterations, base_seed, workers=workers
+        )
+        return assemble_evaluations({label: bank}, strategies, results)[label]
     all_nodes = _baseline_totals(
         AllNodesStrategy, bank, iterations, reps, base_seed
     )
@@ -128,8 +203,24 @@ def evaluate_scenarios(
     iterations: int = config.EVAL_ITERATIONS,
     reps: int = config.EVAL_REPETITIONS,
     progress: bool = False,
+    workers: int = 1,
+    progress_cb: Optional[ProgressFn] = None,
 ) -> Dict[str, ScenarioEvaluation]:
-    """Figure 6: every strategy on every scenario bank."""
+    """Figure 6: every strategy on every scenario bank.
+
+    ``workers > 1`` fans the whole (scenario, strategy, repetition) grid
+    out over one process pool (better load balance than per-scenario
+    pools); output is byte-identical to ``workers=1``.  ``progress_cb``
+    receives ``(cells done, cells total)`` on the parallel path.
+    """
+    if workers > 1:
+        cells = plan_cells(banks, strategies, reps)
+        if progress_cb is None and progress:
+            progress_cb = stderr_progress("evaluating cells")
+        results = run_cells(
+            banks, cells, iterations, workers=workers, progress=progress_cb
+        )
+        return assemble_evaluations(banks, strategies, results)
     out: Dict[str, ScenarioEvaluation] = {}
     for key in sorted(banks):
         if progress:

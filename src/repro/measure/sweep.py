@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # import would cycle through repro.evaluate at runtime
+    from ..evaluate.cache import DurationCache
 
 from .. import config
 from ..distribution import LPBoundCalculator
@@ -41,16 +44,14 @@ def scenario_actions(scenario: Scenario, workload: Optional[Workload] = None):
 def _measure_action(args) -> tuple:
     """Worker for parallel sweeps: one configuration's deterministic sim.
 
-    Module-level so it pickles for ProcessPoolExecutor; rebuilds the
-    scenario in the worker process (cheap against the simulation).
+    Module-level so it pickles for ProcessPoolExecutor; the worker-side
+    scenario rebuild is the shared :func:`repro.evaluate.parallel.rebuild_app`
+    helper (imported lazily -- ``repro.evaluate`` imports this package).
     """
     scenario, tiles_env, n, include_rigid = args
-    import os
+    from ..evaluate.parallel import rebuild_app
 
-    os.environ[f"REPRO_TILES_{scenario.workload}"] = str(tiles_env)
-    workload = Workload.from_name(scenario.workload)
-    cluster = scenario.build_cluster()
-    app = ExaGeoStat(cluster, workload)
+    app, cluster, _ = rebuild_app(scenario, tiles_env)
     duration = app.measure(n, len(cluster))
     rigid = (
         app.simulate(IterationPlan(n_fact=n, n_gen=n)).makespan
@@ -58,6 +59,34 @@ def _measure_action(args) -> tuple:
         else None
     )
     return n, duration, rigid
+
+
+def _cache_probe(cache, scenario, tiles: int, n: int, n_total: int,
+                 include_rigid: bool):
+    """Cached ``(duration, rigid)`` of one configuration, or None on miss.
+
+    The flexible duration is the plan ``(n_fact=n, n_gen=N)`` and the
+    rigid one ``(n_fact=n, n_gen=n)`` -- both keyed through
+    :meth:`repro.evaluate.cache.DurationCache.key_for`, so the two sweep
+    variants share entries.
+    """
+    duration = cache.get(cache.key_for(scenario, tiles, n, n_total))
+    if duration is None:
+        return None
+    if not include_rigid:
+        return duration, None
+    rigid = cache.get(cache.key_for(scenario, tiles, n, n))
+    if rigid is None:
+        return None
+    return duration, rigid
+
+
+def _cache_store(cache, scenario, tiles: int, n: int, n_total: int,
+                 duration: float, rigid) -> None:
+    """Memoize one configuration's simulated durations."""
+    cache.put(cache.key_for(scenario, tiles, n, n_total), duration)
+    if rigid is not None:
+        cache.put(cache.key_for(scenario, tiles, n, n), rigid)
 
 
 def sweep_scenario(
@@ -68,6 +97,7 @@ def sweep_scenario(
     include_rigid: bool = False,
     progress: bool = False,
     workers: int = 1,
+    cache: Optional["DurationCache"] = None,
 ) -> MeasurementBank:
     """Build the measurement bank of a scenario.
 
@@ -84,6 +114,12 @@ def sweep_scenario(
         Process count for the sweep.  Each configuration is an
         independent deterministic simulation, so the sweep parallelizes
         perfectly; results are identical for any worker count.
+    cache:
+        Optional :class:`repro.evaluate.cache.DurationCache`.  Simulated
+        durations are served from it on a content-key hit and memoized
+        after a miss; a warm cache skips the simulations entirely and
+        yields a bit-identical bank (the noise stream below is drawn in
+        action order either way).
     """
     workload = Workload.from_name(scenario.workload)
     cluster = scenario.build_cluster()
@@ -94,12 +130,24 @@ def sweep_scenario(
     if actions is None:
         actions = scenario_actions(scenario, workload)
     actions = tuple(int(a) for a in actions)
+    n_total = len(cluster)
 
     results: Dict[int, tuple] = {}
-    if workers > 1:
+    pending = list(actions)
+    if cache is not None:
+        pending = []
+        for n in actions:
+            hit = _cache_probe(
+                cache, scenario, workload.t, n, n_total, include_rigid
+            )
+            if hit is None:
+                pending.append(n)
+            else:
+                results[n] = hit
+    if workers > 1 and pending:
         from concurrent.futures import ProcessPoolExecutor
 
-        jobs = [(scenario, workload.t, n, include_rigid) for n in actions]
+        jobs = [(scenario, workload.t, n, include_rigid) for n in pending]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for i, (n, duration, rig) in enumerate(
                 pool.map(_measure_action, jobs)
@@ -108,12 +156,12 @@ def sweep_scenario(
                 if progress:
                     print(
                         f"\r  sweep {scenario.full_label}: "
-                        f"{i + 1}/{len(actions)}",
+                        f"{i + 1}/{len(pending)}",
                         end="", file=sys.stderr, flush=True,
                     )
-    else:
+    elif pending:
         app = ExaGeoStat(cluster, workload)
-        for i, n in enumerate(actions):
+        for i, n in enumerate(pending):
             duration = app.measure(n, len(cluster))
             rig = (
                 app.simulate(IterationPlan(n_fact=n, n_gen=n)).makespan
@@ -123,10 +171,14 @@ def sweep_scenario(
             results[n] = (duration, rig)
             if progress:
                 print(
-                    f"\r  sweep {scenario.full_label}: {i + 1}/{len(actions)}",
+                    f"\r  sweep {scenario.full_label}: {i + 1}/{len(pending)}",
                     end="", file=sys.stderr, flush=True,
                 )
-    if progress:
+    if cache is not None:
+        for n in pending:
+            duration, rig = results[n]
+            _cache_store(cache, scenario, workload.t, n, n_total, duration, rig)
+    if progress and pending:
         print(file=sys.stderr)
 
     samples: Dict[int, np.ndarray] = {}
@@ -168,11 +220,14 @@ def cached_bank(
     include_rigid: bool = False,
     progress: bool = False,
     workers: int = 0,
+    cache: Optional["DurationCache"] = None,
 ) -> MeasurementBank:
     """Load the scenario's bank from the cache, building it if needed.
 
     ``workers=0`` (default) reads ``REPRO_SWEEP_WORKERS`` from the
     environment (1 if unset); results are identical for any value.
+    ``cache`` is a finer-grained duration memo consulted only when the
+    whole-bank JSON is absent (see :func:`sweep_scenario`).
     """
     path = _cache_path(scenario, augment, seed, include_rigid)
     if path.exists():
@@ -188,6 +243,7 @@ def cached_bank(
         include_rigid=include_rigid,
         progress=progress,
         workers=workers,
+        cache=cache,
     )
     bank.save(path)
     return bank

@@ -84,3 +84,21 @@ class PerfModel:
         if not rates:
             raise ValueError(f"kernel {name!r} runs nowhere")
         return max(rates)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the calibration (efficiency + overhead).
+
+        Used by :mod:`repro.evaluate.cache` to key memoized simulation
+        results: any recalibration changes the fingerprint, so stale
+        cached durations can never be served for a retuned model.  The
+        efficiency table is serialized sorted, so dict insertion order
+        does not leak into the key.
+        """
+        items = sorted(
+            (name, kind, float(eff))
+            for (name, kind), eff in self.efficiency.items()
+        )
+        blob = repr((items, float(self.overhead_s)))
+        import hashlib
+
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -23,6 +23,7 @@ class TestParser:
             ["table2"], ["scenarios"], ["sweep", "b"], ["compare", "b"],
             ["fig6"], ["replay", "b", "GP-UCB"], ["overhead"],
             ["grid"], ["trace"], ["predict"], ["checks"],
+            ["bench"], ["bench", "--scenarios", "all", "--workers", "2"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.fn)
