@@ -16,6 +16,10 @@ Flagged inside ``src/``:
   ``date.today()`` — wall-clock reads.  ``time.perf_counter`` is *not*
   flagged: measuring how long something took is the point of the
   reproduction; branching on the calendar is not.
+
+A single audited exemption exists: modules in
+:data:`WALL_CLOCK_ALLOWLIST` (the observability clock) may read the
+wall clock; everything else about them is still checked.
 """
 
 from __future__ import annotations
@@ -38,6 +42,15 @@ _WALL_CLOCK = {
     ("datetime", "utcnow"),
     ("date", "today"),
 }
+
+#: Modules allowed to read the wall clock.  The single audited entry is
+#: the observability clock: ``WallClock.wall_time`` stamps trace headers
+#: with a calendar time that is *recorded*, never branched on, and the
+#: deterministic ``TickClock`` replaces it entirely under
+#: ``--trace-ticks``.  RNG findings still apply to these modules.
+WALL_CLOCK_ALLOWLIST = frozenset({
+    "src/repro/obs/clock.py",
+})
 
 
 def _attr_chain(node: ast.AST) -> List[str]:
@@ -144,7 +157,9 @@ class DeterminismRule(Rule):
                 "Generator",
             )
             return
-        # Wall-clock reads.
+        # Wall-clock reads (except the audited obs clock module).
+        if module.rel in WALL_CLOCK_ALLOWLIST:
+            return
         if (chain[-2], attr) in _WALL_CLOCK:
             yield self.finding(
                 module, node,

@@ -11,14 +11,48 @@ Examples
     python -m repro fig6 --reps 10          # all 16 scenarios
     python -m repro overhead                # Figure 7
     python -m repro grid f                  # Figure 8 heatmap
+    python -m repro compare i --trace t.jsonl --trace-ticks
+    python -m repro stats t.jsonl           # aggregate a trace
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 import numpy as np
+
+
+@contextlib.contextmanager
+def _maybe_traced(args):
+    """Activate a JSONL trace for one command when ``--trace`` is given.
+
+    ``--trace-ticks`` swaps the wall clock for the injected tick counter,
+    making the trace bytes reproducible run-to-run (see
+    :mod:`repro.obs.clock`).  Tracing is inert: command outputs are
+    bit-identical with or without it.
+    """
+    path = getattr(args, "trace", None)
+    if not path:
+        yield
+        return
+    from . import obs
+
+    obs.start_trace(path, ticks=bool(getattr(args, "trace_ticks", False)))
+    try:
+        yield
+    finally:
+        obs.finish_trace()
+        print(f"trace written to {path}", file=sys.stderr)
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default="", metavar="PATH",
+                   help="write a JSONL obs trace of this run to PATH")
+    p.add_argument("--trace-ticks", action="store_true",
+                   help="trace with the injected tick clock "
+                        "(deterministic, byte-reproducible)")
 
 
 def _cmd_table2(args) -> None:
@@ -48,15 +82,16 @@ def _cmd_sweep(args) -> None:
     from .platform import get_scenario
     from .viz import line_plot
 
-    bank = cached_bank(get_scenario(args.scenario), progress=True)
-    print(sweep_table(bank))
-    x = np.asarray(bank.actions, dtype=float)
-    print(line_plot(
-        x,
-        {"measured": np.array([bank.mean(n) for n in bank.actions]),
-         "LP": np.array([bank.lp[n] for n in bank.actions])},
-        x_label="factorization nodes", y_label="iteration time [s]",
-    ))
+    with _maybe_traced(args):
+        bank = cached_bank(get_scenario(args.scenario), progress=True)
+        print(sweep_table(bank))
+        x = np.asarray(bank.actions, dtype=float)
+        print(line_plot(
+            x,
+            {"measured": np.array([bank.mean(n) for n in bank.actions]),
+             "LP": np.array([bank.lp[n] for n in bank.actions])},
+            x_label="factorization nodes", y_label="iteration time [s]",
+        ))
 
 
 def _cmd_compare(args) -> None:
@@ -64,15 +99,17 @@ def _cmd_compare(args) -> None:
     from .measure import cached_bank
     from .platform import get_scenario
 
-    bank = cached_bank(get_scenario(args.scenario), progress=True)
-    print(evaluation_table(evaluate_scenario(bank, reps=args.reps)))
+    with _maybe_traced(args):
+        bank = cached_bank(get_scenario(args.scenario), progress=True)
+        print(evaluation_table(evaluate_scenario(bank, reps=args.reps)))
 
 
 def _cmd_fig6(args) -> None:
     from .evaluate import figure6, figure6_matrix
 
-    evaluations = figure6(reps=args.reps, progress=True)
-    print(figure6_matrix(evaluations))
+    with _maybe_traced(args):
+        evaluations = figure6(reps=args.reps, progress=True)
+        print(figure6_matrix(evaluations))
 
 
 def _cmd_replay(args) -> None:
@@ -91,12 +128,19 @@ def _cmd_replay(args) -> None:
 def _cmd_overhead(args) -> None:
     from .evaluate import figure7
 
-    result = figure7(reps=args.reps, iterations=args.iterations)
-    means = result.mean_per_iteration * 1e3
-    print("per-iteration overhead [ms]:",
-          np.array2string(means, precision=2))
-    print(f"steady state: {result.steady_state_mean * 1e3:.2f} ms; "
-          f"relative: {result.relative_overhead:.4%}")
+    with _maybe_traced(args):
+        result = figure7(reps=args.reps, iterations=args.iterations)
+        means = result.mean_per_iteration * 1e3
+        print("per-iteration overhead [ms]:",
+              np.array2string(means, precision=2))
+        print(f"steady state: {result.steady_state_mean * 1e3:.2f} ms; "
+              f"relative: {result.relative_overhead:.4%}")
+
+
+def _cmd_stats(args) -> None:
+    from .obs import load_trace, render_stats
+
+    print(render_stats(load_trace(args.trace_file)))
 
 
 def _cmd_grid(args) -> None:
@@ -233,15 +277,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="duration-vs-nodes curve (Fig 2/5)")
     p.add_argument("scenario", help="scenario key a..p")
+    _add_trace_args(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("compare", help="all strategies on one scenario (Fig 6 panel)")
     p.add_argument("scenario")
     p.add_argument("--reps", type=int, default=10)
+    _add_trace_args(p)
     p.set_defaults(fn=_cmd_compare)
 
     p = sub.add_parser("fig6", help="all strategies on all scenarios")
     p.add_argument("--reps", type=int, default=10)
+    _add_trace_args(p)
     p.set_defaults(fn=_cmd_fig6)
 
     p = sub.add_parser("replay", help="step-by-step GP state (Fig 4)")
@@ -253,7 +300,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("overhead", help="online strategy overhead (Fig 7)")
     p.add_argument("--reps", type=int, default=10)
     p.add_argument("--iterations", type=int, default=30)
+    _add_trace_args(p)
     p.set_defaults(fn=_cmd_overhead)
+
+    p = sub.add_parser("stats", help="aggregate a JSONL obs trace")
+    p.add_argument("trace_file", help="trace written by --trace")
+    p.set_defaults(fn=_cmd_stats)
 
     p = sub.add_parser("grid", help="2-D gen x fact sweep (Fig 8)")
     p.add_argument("scenario", nargs="?", default="f")

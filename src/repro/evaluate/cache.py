@@ -29,11 +29,19 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional
 
+from ..obs import get_tracer
 from ..platform.scenarios import Scenario
 from ..runtime import PerfModel
 
 #: Bump when the on-disk spill layout changes.
 SPILL_FORMAT_VERSION = 1
+
+
+def _obs_count(name: str, delta: int = 1) -> None:
+    """Increment an obs counter when tracing is on (inert otherwise)."""
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.registry.counter(name).inc(delta)
 
 
 def simulation_fingerprint(
@@ -113,9 +121,11 @@ class DurationCache:
         """Cached duration, or None; counts a hit/miss and refreshes LRU."""
         if key in self._entries:
             self._hits += 1
+            _obs_count("cache.hit")
             self._entries.move_to_end(key)
             return self._entries[key]
         self._misses += 1
+        _obs_count("cache.miss")
         return None
 
     def put(self, key: str, duration: float) -> None:
@@ -124,6 +134,7 @@ class DurationCache:
         self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
+            _obs_count("cache.evict")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -180,6 +191,7 @@ class DurationCache:
         }
         target.parent.mkdir(parents=True, exist_ok=True)
         target.write_text(json.dumps(payload, sort_keys=True))
+        _obs_count("cache.spill", len(self._entries))
         return target
 
     def load(self, path: Optional[Path] = None) -> int:
@@ -205,4 +217,5 @@ class DurationCache:
         for key, value in payload.get("entries", {}).items():
             self.put(str(key), float(value))
             loaded += 1
+        _obs_count("cache.load", loaded)
         return loaded

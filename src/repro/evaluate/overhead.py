@@ -6,21 +6,29 @@ the strategy per iteration: the first iteration is longer (setup), the
 next four are cheap (no GP computation during the initial design), and
 from the sixth iteration on the kriging fit gives a near-constant cost,
 negligible against the 10-30 s iterations.
+
+Overheads come from the strategies' own per-iteration timers
+(``Strategy.overheads``, the ``propose()`` + ``observe()`` elapsed time
+recorded by :mod:`repro.strategies.base`), so this module no longer
+keeps its own ad-hoc stopwatch and the decision log in an obs trace
+reports exactly the numbers aggregated here.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..distribution import LPBoundCalculator
 from ..geostat import ExaGeoStat
+from ..measure.bank import MeasurementBank
 from ..measure.noisemodel import for_mode
 from ..platform.scenarios import Scenario, get_scenario
-from ..strategies import ActionSpace, GPDiscontinuousStrategy
+from ..strategies import ActionSpace, GPDiscontinuousStrategy, make_strategy
 from ..workload import Workload
+from .parallel import derive_cell_seed, run_cell_trace
 
 
 def strategy_space_for(
@@ -80,9 +88,38 @@ def measure_overhead(
         )
         strategy = GPDiscontinuousStrategy(space, seed=seed + rep)
         result = app.run(strategy, iterations)
-        overheads.append([r.controller_overhead for r in result.records])
+        overheads.append(list(strategy.overheads))
         durations.append([r.duration for r in result.records])
     return OverheadResult(
         per_iteration=np.asarray(overheads),
         iteration_durations=np.asarray(durations),
     )
+
+
+def strategy_overheads(
+    names: Sequence[str],
+    bank: MeasurementBank,
+    iterations: int = 30,
+    reps: int = 3,
+    base_seed: int = 0,
+) -> Dict[str, float]:
+    """Mean per-iteration overhead (seconds) of each named strategy.
+
+    Runs each strategy through the standard resampling loop on ``bank``
+    (same seeds as the Figure 6 harness) and averages the self-timed
+    ``Strategy.overheads``.  This is the Figure 7 comparison quantity:
+    the paper's expected ordering is naive < bandits < GP.
+    """
+    space = bank.action_space()
+    out: Dict[str, float] = {}
+    for name in names:
+        per_iter: List[float] = []
+        for rep in range(reps):
+            rng = np.random.default_rng(
+                derive_cell_seed(name, rep, base_seed)
+            )
+            strategy = make_strategy(name, space, seed=rep + base_seed)
+            run_cell_trace(strategy, bank, iterations, rng)
+            per_iter.extend(strategy.overheads)
+        out[name] = float(np.mean(per_iter))
+    return out

@@ -35,10 +35,20 @@ import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import (
+    NULL_TRACER,
+    MemorySink,
+    TickClock,
+    Tracer,
+    WallClock,
+    get_tracer,
+    scoped,
+    set_tracer,
+)
 from ..strategies import AllNodesStrategy, OracleStrategy, make_strategy
 
 #: Sentinel "strategy names" for the two Figure 6 baseline rows.  Real
@@ -88,6 +98,9 @@ class CellResult:
     chosen: np.ndarray           # (iterations,) actions, int
     durations: np.ndarray        # (iterations,) resampled durations
     seconds: float               # worker-side wall-clock of the cell
+    #: Obs events captured while the cell ran (None when tracing is off);
+    #: merged into the parent trace at collection, in cell input order.
+    events: Optional[List[dict]] = None
 
 
 def run_cell_trace(
@@ -138,7 +151,24 @@ def execute_cell(cell: EvalCell, bank, iterations: int, base_seed: int = 0) -> C
         derive_cell_seed(cell.strategy, cell.rep, base_seed)
     )
     strategy = build_cell_strategy(cell, bank, base_seed)
-    total, chosen, durations = run_cell_trace(strategy, bank, iterations, rng)
+    tracer = get_tracer()
+    # Span/event rows carry the strategy's display name (``All-nodes``,
+    # not the ``__all-nodes__`` cell sentinel) so ``repro stats`` merges
+    # them with the decision log; the sentinel stays in the cell id.
+    with tracer.span("cell", scenario=cell.scenario,
+                     strategy=strategy.name, rep=cell.rep):
+        total, chosen, durations = run_cell_trace(
+            strategy, bank, iterations, rng
+        )
+    if tracer.enabled:
+        tracer.event(
+            "cell",
+            scenario=cell.scenario,
+            strategy=strategy.name,
+            rep=cell.rep,
+            iterations=iterations,
+            total=total,
+        )
     return CellResult(
         cell=cell,
         total=total,
@@ -146,6 +176,58 @@ def execute_cell(cell: EvalCell, bank, iterations: int, base_seed: int = 0) -> C
         durations=durations,
         seconds=time.perf_counter() - start,
     )
+
+
+# -- per-cell trace capture --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Picklable description of the parent's tracing mode for workers."""
+
+    enabled: bool = False
+    ticks: bool = False
+
+
+def active_trace_config() -> TraceConfig:
+    """Snapshot of the active tracer, shippable to pool initializers."""
+    tracer = get_tracer()
+    return TraceConfig(
+        enabled=tracer.enabled,
+        ticks=isinstance(tracer.clock, TickClock),
+    )
+
+
+def run_cell_captured(
+    cell: EvalCell, bank, iterations: int, base_seed: int, cfg: TraceConfig
+) -> CellResult:
+    """Execute one cell, capturing its obs events under a private tracer.
+
+    Every traced cell gets a fresh buffer and a fresh clock (ticks start
+    at 0 in deterministic mode), so the captured byte stream depends only
+    on the cell's identity -- not on the worker that ran it, the worker
+    count, or which cells ran before it.  Captured events are annotated
+    with the cell id and a worker attribution (the stable cell id in
+    deterministic mode, the pid in wall mode) and returned on the result
+    for in-order merging by :func:`run_cells`.
+    """
+    if not cfg.enabled:
+        return execute_cell(cell, bank, iterations, base_seed)
+    sink = MemorySink()
+    tracer = Tracer(
+        sink=sink, clock=TickClock() if cfg.ticks else WallClock()
+    )
+    with scoped(tracer):
+        result = execute_cell(cell, bank, iterations, base_seed)
+    # No tracer.close(): cells emit no registry counters, and a per-cell
+    # summary record would only bloat the merged trace.
+    cell_id = f"{cell.scenario}/{cell.strategy}/{cell.rep}"
+    worker = cell_id if cfg.ticks else f"pid{os.getpid()}"
+    for record in sink.records:
+        record["cell_id"] = cell_id
+        record["worker"] = worker
+    result.events = sink.records
+    return result
 
 
 def plan_cells(
@@ -185,19 +267,28 @@ def default_chunksize(n_cells: int, workers: int) -> int:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _pool_init(banks, iterations: int, base_seed: int) -> None:
+def _pool_init(
+    banks, iterations: int, base_seed: int,
+    trace_cfg: TraceConfig = TraceConfig(),
+) -> None:
     _WORKER_STATE["banks"] = banks
     _WORKER_STATE["iterations"] = iterations
     _WORKER_STATE["base_seed"] = base_seed
+    _WORKER_STATE["trace_cfg"] = trace_cfg
+    # A forked worker inherits the parent's active tracer (and its open
+    # sink).  Workers must never write to it -- cell events are captured
+    # per cell and merged by the parent -- so disable it outright.
+    set_tracer(NULL_TRACER)
 
 
 def _pool_run(cell: EvalCell) -> CellResult:
     banks = _WORKER_STATE["banks"]
-    return execute_cell(
+    return run_cell_captured(
         cell,
         banks[cell.scenario],
         _WORKER_STATE["iterations"],
         _WORKER_STATE["base_seed"],
+        _WORKER_STATE["trace_cfg"],
     )
 
 
@@ -237,14 +328,16 @@ def run_cells(
         raise ValueError("workers must be >= 1")
     cells = list(cells)
     total = len(cells)
+    trace_cfg = active_trace_config()
     results: List[CellResult] = []
     if workers == 1:
         for i, cell in enumerate(cells):
-            results.append(
-                execute_cell(cell, banks[cell.scenario], iterations, base_seed)
-            )
+            results.append(run_cell_captured(
+                cell, banks[cell.scenario], iterations, base_seed, trace_cfg
+            ))
             if progress is not None:
                 progress(i + 1, total)
+        _merge_cell_events(results)
         return results
 
     for key in sorted({c.scenario for c in cells}):
@@ -254,11 +347,16 @@ def run_cells(
                 "share a regime clock across cells and only support "
                 "workers=1"
             )
+    parent_tracer = get_tracer()
+    if parent_tracer.enabled:
+        # Forked children duplicate the sink's userspace buffer; drain it
+        # now so their exit-time flush cannot replay buffered lines.
+        parent_tracer.sink.flush()
     chunksize = chunksize or default_chunksize(total, workers)
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_pool_init,
-        initargs=(banks, iterations, base_seed),
+        initargs=(banks, iterations, base_seed, trace_cfg),
     ) as pool:
         for i, result in enumerate(
             pool.map(_pool_run, cells, chunksize=chunksize)
@@ -266,7 +364,23 @@ def run_cells(
             results.append(result)
             if progress is not None:
                 progress(i + 1, total)
+    _merge_cell_events(results)
     return results
+
+
+def _merge_cell_events(results: Sequence[CellResult]) -> None:
+    """Re-emit captured per-cell events into the parent trace.
+
+    Results arrive in cell input order (``pool.map`` preserves it), so
+    the merged stream -- and therefore the trace bytes under the
+    deterministic clock -- is identical for every worker count.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    for result in results:
+        for record in result.events or ():
+            tracer.emit_raw(record)
 
 
 # -- worker-side scenario rebuild -------------------------------------------------

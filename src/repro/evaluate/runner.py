@@ -6,12 +6,15 @@ every time an action was chosen"), repeated 30 times; the mean total time
 is compared to the all-nodes baseline and to the clairvoyant best
 configuration.
 
-Every (scenario, strategy, repetition) cell is independent, so the grid
-optionally fans out over a process pool (``workers=``): seeds are derived
-per cell by :func:`repro.evaluate.parallel.derive_cell_seed` and results
-are collected in deterministic order, making any worker count
-byte-identical to the serial path (``workers=1``, the default, which
-preserves the historical behaviour exactly).
+Every (scenario, strategy, repetition) cell is independent, so the whole
+grid routes through the cell harness of :mod:`repro.evaluate.parallel`:
+seeds are derived per cell by :func:`~repro.evaluate.parallel.derive_cell_seed`
+(the historical serial derivation, so totals are bit-identical to the
+pre-harness code) and results are collected in deterministic order,
+making any worker count byte-identical to ``workers=1`` (the default).
+Routing the serial path through the same cells means every evaluation --
+serial or pooled -- emits the same per-cell obs spans and decision logs
+when a trace is active.
 """
 
 from __future__ import annotations
@@ -23,13 +26,8 @@ import numpy as np
 
 from .. import config
 from ..measure.bank import MeasurementBank
-from ..strategies import (
-    STRATEGY_GROUPS,
-    STRATEGY_ORDER,
-    AllNodesStrategy,
-    OracleStrategy,
-    make_strategy,
-)
+from ..obs import get_tracer
+from ..strategies import STRATEGY_GROUPS, STRATEGY_ORDER
 from .metrics import StrategySummary, summarize
 from .parallel import (
     ALL_NODES_CELL,
@@ -37,7 +35,6 @@ from .parallel import (
     CellResult,
     EvalCell,
     ProgressFn,
-    derive_cell_seed,
     plan_cells,
     run_cell_trace,
     run_cells,
@@ -66,37 +63,12 @@ def run_strategy(
     ``workers > 1`` fans repetitions out over a process pool; totals are
     bit-identical to the serial path for any worker count.
     """
-    if workers > 1:
-        cells = [EvalCell("_", name, rep) for rep in range(reps)]
-        results = run_cells(
-            {"_": bank}, cells, iterations, base_seed, workers=workers
-        )
-        return np.asarray([r.total for r in results])
-    space = bank.action_space()
-    totals = []
-    for rep in range(reps):
-        rng = np.random.default_rng(derive_cell_seed(name, rep, base_seed))
-        strategy = make_strategy(name, space, seed=rep + base_seed)
-        totals.append(run_strategy_once(strategy, bank, iterations, rng))
-    return np.asarray(totals)
-
-
-def _baseline_totals(
-    strategy_cls, bank: MeasurementBank, iterations: int, reps: int,
-    base_seed: int, **kwargs,
-) -> np.ndarray:
-    space = bank.action_space()
-    cell_name = (
-        ALL_NODES_CELL if strategy_cls is AllNodesStrategy else ORACLE_CELL
+    label = getattr(bank, "label", "_")
+    cells = [EvalCell(label, name, rep) for rep in range(reps)]
+    results = run_cells(
+        {label: bank}, cells, iterations, base_seed, workers=workers
     )
-    totals = []
-    for rep in range(reps):
-        rng = np.random.default_rng(
-            derive_cell_seed(cell_name, rep, base_seed)
-        )
-        strategy = strategy_cls(space, seed=rep, **kwargs)
-        totals.append(run_strategy_once(strategy, bank, iterations, rng))
-    return np.asarray(totals)
+    return np.asarray([r.total for r in results])
 
 
 @dataclass
@@ -168,33 +140,12 @@ def evaluate_scenario(
     workers: int = 1,
 ) -> ScenarioEvaluation:
     """Run every strategy on one bank (one Figure 6 panel)."""
-    if workers > 1:
-        label = getattr(bank, "label", "_")
-        cells = plan_cells([label], strategies, reps)
-        results = run_cells(
-            {label: bank}, cells, iterations, base_seed, workers=workers
-        )
-        return assemble_evaluations({label: bank}, strategies, results)[label]
-    all_nodes = _baseline_totals(
-        AllNodesStrategy, bank, iterations, reps, base_seed
+    label = getattr(bank, "label", "_")
+    cells = plan_cells([label], strategies, reps)
+    results = run_cells(
+        {label: bank}, cells, iterations, base_seed, workers=workers
     )
-    best = bank.best_action()
-    oracle = _baseline_totals(
-        OracleStrategy, bank, iterations, reps, base_seed, best_action=best
-    )
-    evaluation = ScenarioEvaluation(
-        label=bank.label,
-        all_nodes_mean=float(np.mean(all_nodes)),
-        oracle_mean=float(np.mean(oracle)),
-        best_action=best,
-    )
-    for name in strategies:
-        totals = run_strategy(name, bank, iterations, reps, base_seed)
-        evaluation.summaries.append(
-            summarize(name, STRATEGY_GROUPS.get(name, "?"), totals,
-                      evaluation.all_nodes_mean)
-        )
-    return evaluation
+    return assemble_evaluations({label: bank}, strategies, results)[label]
 
 
 def evaluate_scenarios(
@@ -211,21 +162,15 @@ def evaluate_scenarios(
     ``workers > 1`` fans the whole (scenario, strategy, repetition) grid
     out over one process pool (better load balance than per-scenario
     pools); output is byte-identical to ``workers=1``.  ``progress_cb``
-    receives ``(cells done, cells total)`` on the parallel path.
+    receives ``(cells done, cells total)``.
     """
-    if workers > 1:
-        cells = plan_cells(banks, strategies, reps)
-        if progress_cb is None and progress:
-            progress_cb = stderr_progress("evaluating cells")
+    cells = plan_cells(banks, strategies, reps)
+    if progress_cb is None and progress:
+        progress_cb = stderr_progress("evaluating cells")
+    tracer = get_tracer()
+    with tracer.span("evaluate.scenarios", scenarios=len(banks),
+                     cells=len(cells), workers=workers):
         results = run_cells(
             banks, cells, iterations, workers=workers, progress=progress_cb
         )
         return assemble_evaluations(banks, strategies, results)
-    out: Dict[str, ScenarioEvaluation] = {}
-    for key in sorted(banks):
-        if progress:
-            import sys
-
-            print(f"  evaluating scenario ({key})...", file=sys.stderr)
-        out[key] = evaluate_scenario(banks[key], strategies, iterations, reps)
-    return out

@@ -1,0 +1,148 @@
+"""Process-local metric registry: counters, gauges, histograms.
+
+Metrics are plain in-memory accumulators -- no background threads, no
+exporters, no dependencies.  A :class:`Registry` hands out get-or-create
+instruments by name; :meth:`Registry.snapshot` renders the whole registry
+as a deterministic plain dict (sorted names, scalar values) suitable for
+a JSONL summary event or a test assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotonically increasing integer count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, delta: int = 1) -> None:
+        """Add ``delta`` (must be non-negative) to the count."""
+        if delta < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        self.value += int(delta)
+
+
+class Gauge:
+    """Last-written scalar value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: Number) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values: count/total/min/max.
+
+    Full bucketed histograms are overkill for per-run summaries; the
+    four-number summary keeps snapshots tiny and deterministic while
+    still answering "how many, how much, how extreme".
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0.0 before any)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class Registry:
+    """Get-or-create store of named instruments.
+
+    Names are namespaced by convention (``cache.hit``, ``sweep.sims``).
+    Requesting an existing name returns the same instrument; requesting
+    it as a different kind is an error (a name means one thing).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _check_unique(self, name: str, own: dict) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not own and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
+        if name not in self._counters:
+            self._check_unique(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        if name not in self._gauges:
+            self._check_unique(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created on first use."""
+        if name not in self._histograms:
+            self._check_unique(name, self._histograms)
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Deterministic plain-dict dump of every instrument.
+
+        Keys are sorted within each section, so the snapshot (and any
+        JSON rendering of it) is independent of creation order.
+        """
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                    "mean": h.mean,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,101 @@
+"""Event sinks: where trace records go.
+
+A record is a flat-ish dict of JSON-serializable values.  Encoding is
+canonical -- ``sort_keys`` plus compact separators -- so a record's byte
+rendering depends only on its content, never on insertion order; this is
+half of the byte-reproducibility contract (the other half is the
+injected :class:`~repro.obs.clock.TickClock`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: Bump when the JSONL record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+def encode_record(record: Dict[str, object]) -> str:
+    """Canonical one-line JSON rendering of a trace record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class Sink:
+    """Destination for trace records."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records to the destination (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class NullSink(Sink):
+    """Swallows everything (the disabled tracer's sink)."""
+
+    def emit(self, record: Dict[str, object]) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Buffers records in order; used by workers and tests.
+
+    ``records`` holds the original dicts (cheap to merge into a parent
+    sink); ``lines()`` renders them canonically.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, object]] = []
+
+    def emit(self, record: Dict[str, object]) -> None:
+        self.records.append(record)
+
+    def lines(self) -> List[str]:
+        """Canonical JSONL rendering of the buffered records."""
+        return [encode_record(r) for r in self.records]
+
+
+class JsonlSink(Sink):
+    """Appends canonical JSON lines to a file, creating parents."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[object] = self.path.open(
+            "w", encoding="utf-8", newline="\n"
+        )
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._fh.write(encode_record(record) + "\n")
+
+    def flush(self) -> None:
+        """Drain the file buffer.
+
+        Called before forking a worker pool: a forked child inherits the
+        buffered file object, and an inherited *non-empty* buffer would
+        be flushed a second time at child exit, duplicating lines.
+        """
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file back into records (blank lines skipped)."""
+    records: List[Dict[str, object]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

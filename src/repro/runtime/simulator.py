@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_tracer
 from ..platform.cluster import Cluster
 from .dag import TaskGraph
 from .perfmodel import CPU, GPU, PerfModel
@@ -161,6 +162,8 @@ class Simulator:
 
     def run(self, graph: TaskGraph) -> SimulationResult:
         """Execute ``graph`` and return the simulation outcome."""
+        tracer = get_tracer()
+        host_t0 = tracer.clock.now() if tracer.enabled else 0.0
         tasks = graph.tasks
         n_tasks = len(tasks)
         if n_tasks == 0:
@@ -418,6 +421,21 @@ class Simulator:
                 f"task graph has a cycle: only {state['scheduled']}/{n_tasks} "
                 f"tasks ran"
             )
+
+        if tracer.enabled:
+            # Simulated (virtual) time vs host time of the simulation
+            # itself -- the Figure 1/2 phase spans become queryable from
+            # any traced run without re-running with trace=True.
+            tracer.event(
+                "simulator.run",
+                makespan=state["makespan"],
+                tasks=n_tasks,
+                transfers=comm_stats[0],
+                comm_s=comm_stats[2],
+                host_s=tracer.clock.now() - host_t0,
+                phases={p: s[1] - s[0] for p, s in phase_spans.items()},
+            )
+            tracer.count("simulator.runs")
 
         return SimulationResult(
             makespan=state["makespan"],

@@ -9,11 +9,14 @@ some minimum and ``N``, always taking the ``n`` fastest (Section IV).
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs import get_tracer
 from ..platform.cluster import Cluster
 
 
@@ -101,26 +104,61 @@ class Strategy:
         self.xs: List[int] = []
         self.ys: List[float] = []
         self._stats: Dict[int, List[float]] = {}
+        #: Per-iteration strategy overhead: time spent inside propose()
+        #: plus observe() for each completed iteration (the Figure 7
+        #: quantity, self-timed so every caller gets it for free).
+        self.overheads: List[float] = []
+        self._propose_elapsed = 0.0
 
     # -- public protocol ---------------------------------------------------------
 
+    def _clock(self) -> float:
+        """Overhead timestamp: trace clock when tracing, else monotonic.
+
+        Routing through the trace clock means a deterministic (tick)
+        trace logs deterministic overheads; untraced runs pay only a
+        ``perf_counter`` read, and either way the value never feeds back
+        into the decision process (the inertness contract).
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            return tracer.clock.now()
+        return time.perf_counter()
+
     def propose(self) -> int:
         """Node count to use for the next iteration."""
+        t0 = self._clock()
         n = int(self._next_action())
         if n not in self._action_set():
             raise RuntimeError(
                 f"{self.name} proposed {n}, outside the action space"
             )
+        self._propose_elapsed = self._clock() - t0
         return n
 
     def observe(self, n: int, duration: float) -> None:
         """Feed back the measured duration of an iteration run with ``n``."""
         if duration < 0:
             raise ValueError("duration must be non-negative")
+        t0 = self._clock()
         self.xs.append(int(n))
         self.ys.append(float(duration))
         self._stats.setdefault(int(n), []).append(float(duration))
         self._after_observe(int(n), float(duration))
+        overhead = self._propose_elapsed + (self._clock() - t0)
+        self._propose_elapsed = 0.0
+        self.overheads.append(overhead)
+        tracer = get_tracer()
+        if tracer.enabled:
+            fields: Dict[str, object] = {
+                "strategy": self.name,
+                "iteration": len(self.ys),
+                "arm": int(n),
+                "duration": float(duration),
+                "overhead_s": overhead,
+            }
+            fields.update(self.decision_telemetry(int(n)))
+            tracer.event("decision", **fields)
 
     # -- hooks ----------------------------------------------------------------------
 
@@ -132,6 +170,27 @@ class Strategy:
 
     def _action_set(self) -> frozenset:
         return frozenset(self.space.actions)
+
+    def decision_telemetry(self, n: int) -> Dict[str, float]:
+        """Model-state fields for the decision log (empty for model-free).
+
+        GP strategies (anything exposing a fitted ``gp`` plus the
+        ``surrogate``/``current_beta`` protocol of Figure 4) report the
+        posterior mean/sd at the chosen arm and the LCB acquisition value
+        the choice was based on.  Read-only: the queries are
+        deterministic predictions, so logging never perturbs the run.
+        """
+        if getattr(self, "gp", None) is None:
+            return {}
+        if not (hasattr(self, "surrogate") and hasattr(self, "current_beta")):
+            return {}
+        mean, sd = self.surrogate(np.asarray([float(n)]))
+        beta = float(self.current_beta())
+        return {
+            "posterior_mean": float(mean[0]),
+            "posterior_sd": float(sd[0]),
+            "acquisition": float(mean[0] - math.sqrt(beta) * sd[0]),
+        }
 
     # -- shared helpers ---------------------------------------------------------------
 

@@ -99,3 +99,37 @@ class TestScope:
         src = "import numpy as np\nnp.random.seed(0)\n"
         assert not findings("tests/m.py", src)
         assert not findings("benchmarks/m.py", src)
+
+
+class TestWallClockAllowlist:
+    """The single audited exemption: the observability clock module."""
+
+    ALLOWED = "src/repro/obs/clock.py"
+
+    def test_obs_clock_may_read_wall_clock(self):
+        assert not findings(self.ALLOWED, """
+            import time
+            def wall_time():
+                return time.time()
+        """)
+
+    def test_same_source_elsewhere_still_flagged(self):
+        src = """
+            import time
+            def wall_time():
+                return time.time()
+        """
+        assert findings("src/repro/obs/other.py", src)
+        assert findings("src/repro/runtime/simulator.py", src)
+
+    def test_allowlist_does_not_cover_rng(self):
+        out = findings(self.ALLOWED, """
+            import numpy as np
+            np.random.seed(0)
+        """)
+        assert out and "hidden global RNG" in out[0].message
+
+    def test_allowlist_is_a_single_audited_module(self):
+        from repro.analysis.rules.determinism import WALL_CLOCK_ALLOWLIST
+
+        assert WALL_CLOCK_ALLOWLIST == frozenset({self.ALLOWED})

@@ -1,0 +1,183 @@
+"""Property-based tests for evaluation metrics and regret analysis.
+
+Stdlib-``random`` generators only (seeded, no new dependencies), in the
+style of ``test_duration_cache.py``: randomized inputs, invariant
+assertions.  The properties are the ones Figures 6 and Table I lean on:
+regret against the clairvoyant best is never negative, aggregation does
+not care about repetition order, and cumulative regret only ever grows.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.evaluate import cumulative_regret, gain_percent, summarize
+from repro.evaluate.regret import RegretCurve, convergence_table, regret_curves
+from repro.measure import synthetic_bank
+
+N_TRIALS = 50
+
+
+def _rng(seed):
+    return random.Random(seed)
+
+
+def random_durations(rng, lo=0.1, hi=100.0, max_len=40):
+    return [rng.uniform(lo, hi) for _ in range(rng.randint(1, max_len))]
+
+
+class TestGainPercent:
+    def test_zero_at_baseline(self):
+        rng = _rng(0)
+        for _ in range(N_TRIALS):
+            b = rng.uniform(0.1, 1e4)
+            assert gain_percent(b, b) == 0.0
+
+    def test_sign_matches_speedup(self):
+        rng = _rng(1)
+        for _ in range(N_TRIALS):
+            b = rng.uniform(1.0, 1e3)
+            faster = b * rng.uniform(0.01, 0.99)
+            slower = b * rng.uniform(1.01, 3.0)
+            assert gain_percent(b, faster) > 0
+            assert gain_percent(b, slower) < 0
+
+    def test_scale_invariant(self):
+        rng = _rng(2)
+        for _ in range(N_TRIALS):
+            b, v, c = (rng.uniform(0.5, 100.0) for _ in range(3))
+            assert gain_percent(c * b, c * v) == pytest.approx(
+                gain_percent(b, v)
+            )
+
+    def test_nonpositive_baseline_rejected(self):
+        for b in (0.0, -1.0):
+            with pytest.raises(ValueError):
+                gain_percent(b, 1.0)
+
+
+class TestCumulativeRegret:
+    def test_non_negative_against_clairvoyant_best(self):
+        """Regret vs. a best no worse than any observation is >= 0."""
+        rng = _rng(3)
+        for _ in range(N_TRIALS):
+            durations = random_durations(rng)
+            best = min(durations) * rng.uniform(0.0, 1.0)
+            assert cumulative_regret(durations, best) >= 0.0
+
+    def test_zero_for_oracle_play(self):
+        rng = _rng(4)
+        for _ in range(N_TRIALS):
+            best = rng.uniform(0.1, 50.0)
+            k = rng.randint(1, 30)
+            assert cumulative_regret([best] * k, best) == pytest.approx(0.0)
+
+    def test_permutation_invariant(self):
+        rng = _rng(5)
+        for _ in range(N_TRIALS):
+            durations = random_durations(rng)
+            best = rng.uniform(0.0, min(durations))
+            shuffled = durations[:]
+            rng.shuffle(shuffled)
+            assert cumulative_regret(shuffled, best) == pytest.approx(
+                cumulative_regret(durations, best)
+            )
+
+
+class TestSummarizeProperties:
+    def test_aggregation_permutation_invariant(self):
+        rng = _rng(6)
+        for _ in range(N_TRIALS):
+            totals = random_durations(rng, lo=10.0, hi=500.0)
+            baseline = rng.uniform(10.0, 500.0)
+            shuffled = totals[:]
+            rng.shuffle(shuffled)
+            a = summarize("s", "g", totals, baseline)
+            b = summarize("s", "g", shuffled, baseline)
+            assert a.mean_total == pytest.approx(b.mean_total)
+            assert a.sd_total == pytest.approx(b.sd_total)
+            assert a.gain_pct == pytest.approx(b.gain_pct)
+            assert a.ci95_half_width == pytest.approx(b.ci95_half_width)
+
+    def test_ci_zero_for_single_rep(self):
+        assert summarize("s", "g", [42.0], 50.0).ci95_half_width == 0.0
+
+
+def random_curve(rng, reps=3, iterations=25):
+    regret = np.asarray(
+        [[rng.uniform(0.0, 5.0) for _ in range(iterations)]
+         for _ in range(reps)]
+    )
+    chosen = np.asarray(
+        [[rng.randint(2, 12) for _ in range(iterations)]
+         for _ in range(reps)]
+    )
+    curve = RegretCurve(name="rand", chosen=chosen, instant_regret=regret)
+    curve._best_duration = rng.uniform(1.0, 30.0)
+    return curve
+
+
+class TestRegretCurveProperties:
+    def test_cumulative_monotone_when_instant_nonnegative(self):
+        rng = _rng(7)
+        for _ in range(N_TRIALS):
+            curve = random_curve(rng)
+            cum = curve.cumulative
+            assert cum[0] >= 0.0
+            assert np.all(np.diff(cum) >= -1e-12)
+
+    def test_convergence_zero_when_always_below(self):
+        curve = RegretCurve(
+            name="c", chosen=np.zeros((2, 5), dtype=int),
+            instant_regret=np.zeros((2, 5)),
+        )
+        curve._best_duration = 10.0
+        assert curve.convergence_iteration() == 0.0
+
+    def test_convergence_inf_when_never_below(self):
+        curve = RegretCurve(
+            name="c", chosen=np.zeros((2, 5), dtype=int),
+            instant_regret=np.full((2, 5), 99.0),
+        )
+        curve._best_duration = 1.0
+        assert math.isinf(curve.convergence_iteration())
+
+    def test_convergence_finds_last_excursion(self):
+        regret = np.asarray([[9.0, 0.0, 9.0, 0.0, 0.0]])
+        curve = RegretCurve(
+            name="c", chosen=np.zeros_like(regret, dtype=int),
+            instant_regret=regret,
+        )
+        curve._best_duration = 10.0  # threshold = 0.5
+        assert curve.convergence_iteration() == 3.0
+
+
+class TestRegretCurvesOnBank:
+    """The real pipeline satisfies the same invariants end-to-end."""
+
+    @pytest.fixture()
+    def bank(self):
+        return synthetic_bank(
+            f=lambda n: 10.0 + 30.0 / n + 0.8 * n,
+            actions=range(2, 9),
+            lp=lambda n: 30.0 / n + 1.0,
+            group_boundaries=(2, 4, 8),
+            noise_sd=0.3,
+            seed=11,
+            label="synthetic regret",
+        )
+
+    def test_instant_regret_nonnegative_and_cumulative_monotone(self, bank):
+        curves = regret_curves(bank, ("DC", "UCB"), iterations=15, reps=2)
+        for curve in curves.values():
+            assert np.all(curve.instant_regret >= -1e-12)
+            assert np.all(np.diff(curve.cumulative) >= -1e-12)
+
+    def test_convergence_table_sorted_by_regret(self, bank):
+        curves = regret_curves(bank, ("DC", "UCB"), iterations=15, reps=2)
+        rows = convergence_table(curves)
+        values = [r["cumulative_regret"] for r in rows]
+        assert values == sorted(values)
+        assert all(v >= 0.0 for v in values)

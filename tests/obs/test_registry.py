@@ -1,0 +1,83 @@
+"""Registry semantics: get-or-create, kind uniqueness, snapshots."""
+
+import pytest
+
+from repro.obs import Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = Registry()
+        c = reg.counter("cache.hit")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_same_name_same_instrument(self):
+        reg = Registry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Registry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Registry().gauge("queue.depth")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Registry().histogram("dur")
+        for v in (2.0, 8.0, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.mean == 5.0
+
+    def test_empty_mean_is_zero(self):
+        assert Registry().histogram("dur").mean == 0.0
+
+
+class TestRegistry:
+    def test_name_means_one_kind(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.gauge("x")
+        with pytest.raises(ValueError, match="different kind"):
+            reg.histogram("x")
+
+    def test_len_counts_all_instruments(self):
+        reg = Registry()
+        reg.counter("a")
+        reg.gauge("b")
+        reg.histogram("c")
+        assert len(reg) == 3
+
+    def test_snapshot_is_sorted_and_plain(self):
+        reg = Registry()
+        reg.counter("zeta").inc(2)
+        reg.counter("alpha").inc(1)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["alpha", "zeta"]
+        assert snap["counters"]["zeta"] == 2
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"] == {
+            "count": 1, "total": 3.0, "min": 3.0, "max": 3.0, "mean": 3.0,
+        }
+
+    def test_snapshot_empty_histogram_min_max_zero(self):
+        reg = Registry()
+        reg.histogram("h")
+        snap = reg.snapshot()["histograms"]["h"]
+        assert snap["min"] == 0.0 and snap["max"] == 0.0

@@ -1,0 +1,118 @@
+"""JSONL sink: canonical encoding, schema golden, byte reproducibility."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    JsonlSink,
+    MemorySink,
+    TickClock,
+    Tracer,
+    encode_record,
+    finish_trace,
+    read_trace,
+    start_trace,
+)
+
+
+class TestEncoding:
+    def test_canonical_key_order_and_separators(self):
+        a = encode_record({"b": 1, "a": 2})
+        b = encode_record({"a": 2, "b": 1})
+        assert a == b == '{"a":2,"b":1}'
+
+    def test_roundtrips_through_json(self):
+        rec = {"kind": "span", "t0": 0.0, "nested": {"x": [1, 2]}}
+        assert json.loads(encode_record(rec)) == rec
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_record(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"kind": "a"})
+        sink.emit({"kind": "b"})
+        sink.close()
+        assert read_trace(path) == [{"kind": "a"}, {"kind": "b"}]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "t.jsonl"
+        JsonlSink(path).close()
+        assert path.exists()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()  # idempotent
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"kind": "late"})
+
+
+class TestSchemaGolden:
+    """Pin the exact byte layout of the core record kinds.
+
+    A change here is a trace schema change: bump TRACE_SCHEMA_VERSION
+    and update downstream consumers (``repro stats``) deliberately.
+    """
+
+    def test_header_bytes(self):
+        tr = Tracer(sink=MemorySink(), clock=TickClock())
+        tr.header()
+        assert tr.sink.lines() == [
+            '{"clock":"ticks","kind":"trace.start","schema":1,'
+            '"t":0.0,"wall_time":0.0}'
+        ]
+        assert TRACE_SCHEMA_VERSION == 1
+
+    def test_span_bytes(self):
+        tr = Tracer(sink=MemorySink(), clock=TickClock())
+        with tr.span("fact", tiles=4):
+            pass
+        assert tr.sink.lines() == [
+            '{"dur":1.0,"kind":"span","name":"fact","ok":true,'
+            '"parent":null,"t0":0.0,"t1":1.0,"tiles":4}'
+        ]
+
+    def test_summary_bytes(self):
+        tr = Tracer(sink=MemorySink(), clock=TickClock())
+        tr.count("cache.hit", 2)
+        tr.close()
+        assert tr.sink.lines() == [
+            '{"kind":"summary","registry":{"counters":{"cache.hit":2},'
+            '"gauges":{},"histograms":{}},"t":0.0}'
+        ]
+
+
+class TestByteReproducibility:
+    """Two identical runs under the tick clock emit identical bytes."""
+
+    @staticmethod
+    def _run(path):
+        tracer = start_trace(path, ticks=True)
+        try:
+            with tracer.span("outer", n=3):
+                tracer.event("decision", arm=5, duration=1.25)
+                tracer.count("sim.runs", 3)
+        finally:
+            finish_trace()
+
+    def test_identical_runs_identical_bytes(self, tmp_path):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._run(p1)
+        self._run(p2)
+        assert p1.read_bytes() == p2.read_bytes()
+        assert p1.read_bytes()  # non-trivial trace
+
+    def test_wall_clock_trace_parses_but_differs(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        tracer = start_trace(path, ticks=False)
+        try:
+            with tracer.span("outer"):
+                pass
+        finally:
+            finish_trace()
+        records = read_trace(path)
+        assert records[0]["clock"] == "wall"
+        assert records[0]["wall_time"] > 0.0

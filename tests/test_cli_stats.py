@@ -1,0 +1,89 @@
+"""CLI tracing flags and the `repro stats` aggregation command.
+
+``repro compare --trace --trace-ticks`` must produce a parseable JSONL
+trace (header first, deterministic clock), and ``repro stats`` must
+render the committed golden text for it byte-for-byte -- the cold-cache
+tick trace is a pure function of the code, so the rendered aggregate is
+too.  Regenerate after an intended change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/test_cli_stats.py
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import TRACE_SCHEMA_VERSION, read_trace
+
+GOLDEN = Path(__file__).parent / "goldens" / "stats_compare_b.txt"
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+
+@pytest.fixture()
+def trace_path(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    assert main(["compare", "b", "--reps", "2",
+                 "--trace", str(path), "--trace-ticks"]) == 0
+    capsys.readouterr()  # drop the compare table
+    return path
+
+
+class TestTraceFlag:
+    def test_trace_file_is_parseable_jsonl(self, trace_path):
+        records = read_trace(trace_path)
+        assert len(records) > 100
+        for record in records:
+            assert "kind" in record
+
+    def test_header_first_with_deterministic_clock(self, trace_path):
+        header = read_trace(trace_path)[0]
+        assert header["kind"] == "trace.start"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["clock"] == "ticks"
+        assert header["wall_time"] == 0.0
+
+    def test_trace_carries_all_instrumented_kinds(self, trace_path):
+        kinds = {r["kind"] for r in read_trace(trace_path)}
+        assert {"trace.start", "simulator.run", "decision", "cell",
+                "span", "summary"} <= kinds
+
+    def test_decisions_attribute_cells_and_workers(self, trace_path):
+        decisions = [r for r in read_trace(trace_path)
+                     if r["kind"] == "decision"]
+        assert decisions
+        for record in decisions:
+            assert record["cell_id"].count("/") == 2
+            assert record["worker"]  # stable id under the tick clock
+
+
+class TestStatsCommand:
+    def test_stats_matches_golden(self, trace_path, capsys):
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(out)
+            pytest.skip(f"regenerated {GOLDEN}")
+        assert GOLDEN.exists(), (
+            f"golden missing; run with REPRO_REGEN_GOLDENS=1 to create "
+            f"{GOLDEN}"
+        )
+        assert out == GOLDEN.read_text()
+
+    def test_stats_sections_present(self, trace_path, capsys):
+        assert main(["stats", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase" in out
+        assert "per-strategy (decision log)" in out
+        assert "overhead/iter [ticks]" in out
+        assert "simulator.runs" in out
