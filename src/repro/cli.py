@@ -13,6 +13,9 @@ Examples
     python -m repro grid f                  # Figure 8 heatmap
     python -m repro compare i --trace t.jsonl --trace-ticks
     python -m repro stats t.jsonl           # aggregate a trace
+    python -m repro timeline b              # Figure 1 grade exports
+    python -m repro perf record b           # append to the perf ledger
+    python -m repro perf check b            # gate against the baseline
 """
 
 from __future__ import annotations
@@ -138,9 +141,139 @@ def _cmd_overhead(args) -> None:
 
 
 def _cmd_stats(args) -> None:
-    from .obs import load_trace, render_stats
+    import json
 
-    print(render_stats(load_trace(args.trace_file)))
+    from .obs import load_trace, render_stats, stats_to_json
+
+    stats = load_trace(args.trace_file)
+    if args.format == "json":
+        print(json.dumps(stats_to_json(stats), indent=2, sort_keys=True))
+    else:
+        print(render_stats(stats))
+
+
+def _cmd_timeline(args) -> None:
+    from pathlib import Path
+
+    from .evaluate import format_table
+    from .obs.timeline import export_timeline
+    from .runtime import render_ascii, utilization_timeline
+
+    out = export_timeline(
+        args.scenario,
+        Path(args.out),
+        n_fact=args.n_fact or None,
+        n_gen=args.n_gen or None,
+        max_nodes=args.max_nodes,
+    )
+    analysis = out["analysis"]
+    cfg = out["config"]
+    print(f"timeline {args.scenario}: n_gen={cfg['n_gen']}, "
+          f"n_fact={cfg['n_fact']}, {analysis.task_count} tasks, "
+          f"{analysis.transfer_count} transfers")
+    print(f"  makespan       : {analysis.makespan:.4f} s")
+    print(f"  critical path  : {analysis.critical_path_s:.4f} s "
+          f"({analysis.critical_path_frac:.0%} of makespan)")
+    print(f"  mean idleness  : {analysis.mean_idleness:.1%} "
+          f"(worst node {analysis.max_idleness:.1%})")
+    print(f"  comm time      : {analysis.comm_time:.4f} s "
+          f"({analysis.comm_bytes / 1e9:.3f} GB)")
+    print(format_table(
+        ["phase", "start [s]", "end [s]", "span [s]", "tasks", "cp [s]"],
+        [[p.phase, f"{p.start:.3f}", f"{p.end:.3f}", f"{p.span_s:.3f}",
+          p.tasks, f"{p.critical_path_s:.3f}"] for p in analysis.phases],
+    ))
+    if args.ascii:
+        timeline = utilization_timeline(
+            out["result"], out["cluster"], nbins=args.nbins
+        )
+        print(render_ascii(timeline, out["cluster"], show_transfers=True))
+    for kind, path in sorted(out["paths"].items()):
+        print(f"  {kind:6} : {path}")
+
+
+def _cmd_perf_record(args) -> None:
+    from .obs.ledger import (
+        PerfLedger,
+        collect_metrics,
+        make_entry,
+        write_root_report,
+    )
+
+    metrics, cfg = collect_metrics(
+        args.scenario,
+        n_fact=args.n_fact or None,
+        n_gen=args.n_gen or None,
+        bench_path=args.bench or None,
+    )
+    label = args.label or args.scenario
+    ledger = PerfLedger(args.ledger)
+    entry = ledger.append(make_entry(label, metrics, config=cfg,
+                                     note=args.note))
+    print(f"perf record [{label}]: {len(metrics)} metrics appended to "
+          f"{ledger.path} ({len(ledger.entries())} entries)")
+    if args.root_out:
+        root = write_root_report(
+            label, metrics, config=cfg, path=args.root_out,
+            extra={"recorded_at": entry["recorded_at"]},
+        )
+        print(f"  root report : {root}")
+
+
+def _cmd_perf_check(args) -> None:
+    import json
+
+    from .obs.ledger import (
+        PerfLedger,
+        check_against_ledger,
+        collect_metrics,
+        render_check_report,
+    )
+
+    if args.threshold < 0:
+        print(f"error: --threshold must be >= 0, got {args.threshold}",
+              file=sys.stderr)
+        sys.exit(2)
+    metrics, cfg = collect_metrics(
+        args.scenario,
+        n_fact=args.n_fact or None,
+        n_gen=args.n_gen or None,
+        bench_path=args.bench or None,
+    )
+    label = args.label or args.scenario
+    report = check_against_ledger(
+        PerfLedger(args.ledger), label, metrics, config=cfg,
+        threshold=args.threshold,
+    )
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "label": report.label,
+                "baseline_found": report.baseline_found,
+                "ok": report.ok,
+                "threshold": report.threshold,
+                "checks": [
+                    {
+                        "metric": c.metric,
+                        "baseline": c.baseline,
+                        "current": c.current,
+                        "rel_change": c.rel_change,
+                        "gated": c.gated,
+                        "regressed": c.regressed,
+                    }
+                    for c in report.checks
+                ],
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_check_report(report, verbose=args.verbose))
+    if not report.baseline_found:
+        if args.require_baseline:
+            sys.exit(1)
+        return
+    if not report.ok:
+        sys.exit(1)
 
 
 def _cmd_grid(args) -> None:
@@ -206,6 +339,7 @@ def _cmd_bench(args) -> None:
 
     out = Path(args.out) if args.out else DEFAULT_OUT
     spill = None if args.no_spill else out.parent / "BENCH_durations.json"
+    root = Path(args.root_out) if args.root_out else None
     report = run_harness_benchmark(
         scenario_keys=keys,
         strategies=args.strategies,
@@ -214,6 +348,7 @@ def _cmd_bench(args) -> None:
         workers=args.workers,
         out_path=out,
         spill_path=spill,
+        root_path=root,
         progress=True,
     )
     cache = report["cache"]
@@ -226,6 +361,8 @@ def _cmd_bench(args) -> None:
           f"{cache['hit_rate']:.0%})")
     print(f"  identical: {report['identical']}")
     print(f"  report   : {out}")
+    if root is not None:
+        print(f"  root copy: {root}")
     if not report["identical"]:
         sys.exit(1)
 
@@ -266,6 +403,10 @@ def _cmd_checks(args) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser with all subcommands."""
+    from pathlib import Path
+
+    from .obs.ledger import DEFAULT_LEDGER, DEFAULT_THRESHOLD
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the IPDPS 2022 multi-phase adaptation paper.",
@@ -305,7 +446,69 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="aggregate a JSONL obs trace")
     p.add_argument("trace_file", help="trace written by --trace")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (json: machine-readable aggregate)")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "timeline",
+        help="task-level timeline exports (Chrome trace, Paje CSV, HTML)",
+    )
+    p.add_argument("scenario", nargs="?", default="b", help="scenario key a..p")
+    p.add_argument("--n-fact", type=int, default=0,
+                   help="factorization node count (default: all nodes)")
+    p.add_argument("--n-gen", type=int, default=0,
+                   help="generation node count (default: all nodes)")
+    p.add_argument("--out", default=str(Path("benchmarks") / "out"),
+                   help="output directory for the three artifacts")
+    p.add_argument("--nbins", type=int, default=72,
+                   help="time bins of the ASCII rendering")
+    p.add_argument("--max-nodes", type=int, default=16,
+                   help="nodes drawn in the SVG Gantt")
+    p.add_argument("--no-ascii", dest="ascii", action="store_false",
+                   help="skip the terminal utilization art")
+    p.set_defaults(fn=_cmd_timeline)
+
+    p = sub.add_parser("perf", help="cross-run performance ledger")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(pp) -> None:
+        pp.add_argument("scenario", nargs="?", default="b",
+                        help="scenario key a..p")
+        pp.add_argument("--n-fact", type=int, default=0,
+                        help="factorization node count (default: all nodes)")
+        pp.add_argument("--n-gen", type=int, default=0,
+                        help="generation node count (default: all nodes)")
+        pp.add_argument("--label", default="",
+                        help="ledger label (default: the scenario key)")
+        pp.add_argument("--ledger", default=str(DEFAULT_LEDGER),
+                        help="ledger JSONL path")
+        pp.add_argument("--bench", default="",
+                        help="BENCH_harness.json to merge (informational "
+                             "bench.* metrics)")
+
+    pp = perf_sub.add_parser(
+        "record", help="append the current run's aggregates to the ledger"
+    )
+    _perf_common(pp)
+    pp.add_argument("--note", default="", help="free-form annotation")
+    pp.add_argument("--root-out", default="BENCH_timeline.json",
+                    help="root-level trajectory artifact ('' disables)")
+    pp.set_defaults(fn=_cmd_perf_record)
+
+    pp = perf_sub.add_parser(
+        "check", help="gate the current run against the ledger baseline"
+    )
+    _perf_common(pp)
+    pp.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                    help="relative increase tolerated on gated metrics")
+    pp.add_argument("--format", choices=("text", "json"), default="text")
+    pp.add_argument("--verbose", action="store_true",
+                    help="also print non-gated (informational) metrics")
+    pp.add_argument("--require-baseline", action="store_true",
+                    help="fail (exit 1) when no baseline exists instead of "
+                         "warning")
+    pp.set_defaults(fn=_cmd_perf_check)
 
     p = sub.add_parser("grid", help="2-D gen x fact sweep (Fig 8)")
     p.add_argument("scenario", nargs="?", default="f")
@@ -336,6 +539,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.add_argument("--out", default="",
                    help="report path (default benchmarks/out/BENCH_harness.json)")
+    p.add_argument("--root-out", default="BENCH_harness.json",
+                   help="root-level trajectory copy of the report "
+                        "('' disables)")
     p.add_argument("--no-spill", action="store_true",
                    help="do not warm/persist the duration cache on disk")
     p.set_defaults(fn=_cmd_bench)

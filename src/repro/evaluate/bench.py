@@ -13,7 +13,9 @@ delivers over the plain serial path:
 Both passes must agree bit-for-bit (``identical`` in the report); the
 headline ``speedup`` is wall-clock A over wall-clock B.  The JSON report
 (schema below, pinned by ``tests/test_cli_bench.py``) lands in
-``benchmarks/out/BENCH_harness.json`` so the repository's performance
+``benchmarks/out/BENCH_harness.json`` and is mirrored byte-for-byte to
+the repository root (``BENCH_harness.json``, the canonical location
+cross-PR perf-trajectory tooling scans) so the repository's performance
 trajectory finally has machine-readable data.
 """
 
@@ -44,6 +46,11 @@ BENCH_SCHEMA_VERSION = 1
 
 #: Default output location (the repo's benchmark artifact directory).
 DEFAULT_OUT = Path("benchmarks") / "out" / "BENCH_harness.json"
+
+#: Canonical root-level copy: cross-PR perf-trajectory tooling scans the
+#: repository root for ``BENCH_*.json``, so the report is mirrored there
+#: (same bytes as the ``benchmarks/out`` artifact).
+ROOT_OUT = Path("BENCH_harness.json")
 
 #: Human-readable names for the baseline sentinels in the cell log.
 _CELL_NAMES = {ALL_NODES_CELL: "All-nodes", ORACLE_CELL: "Oracle"}
@@ -99,6 +106,7 @@ def run_harness_benchmark(
     sweep_seed: int = 12345,
     out_path: Optional[Path] = None,
     spill_path: Optional[Path] = None,
+    root_path: Optional[Path] = None,
     progress: bool = False,
 ) -> dict:
     """Benchmark the harness and return (and optionally write) the report.
@@ -193,8 +201,14 @@ def run_harness_benchmark(
     }
     if spill_path is not None:
         cache.spill()
+    rendered = json.dumps(report, indent=2, sort_keys=True)
     if out_path is not None:
         out_path = Path(out_path)
         out_path.parent.mkdir(parents=True, exist_ok=True)
-        out_path.write_text(json.dumps(report, indent=2, sort_keys=True))
+        out_path.write_text(rendered)
+    if root_path is not None:
+        root_path = Path(root_path)
+        if root_path.parent != Path("."):
+            root_path.parent.mkdir(parents=True, exist_ok=True)
+        root_path.write_text(rendered)
     return report

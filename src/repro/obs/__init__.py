@@ -31,7 +31,14 @@ from .sink import (
     encode_record,
     read_trace,
 )
-from .stats import TraceStats, aggregate, load_trace, render_stats
+from .stats import (
+    STATS_SCHEMA_VERSION,
+    TraceStats,
+    aggregate,
+    load_trace,
+    render_stats,
+    stats_to_json,
+)
 from .trace import (
     NULL_TRACER,
     Span,
@@ -43,8 +50,14 @@ from .trace import (
     start_trace,
 )
 
+# NOTE: repro.obs.timeline and repro.obs.ledger are intentionally NOT
+# imported here: they depend on repro.runtime / repro.platform, which
+# themselves import repro.obs at module load -- import them directly
+# (`from repro.obs import timeline`) to keep the package cycle-free.
+
 __all__ = [
     "Clock",
+    "STATS_SCHEMA_VERSION",
     "Counter",
     "Gauge",
     "Histogram",
@@ -70,4 +83,5 @@ __all__ = [
     "scoped",
     "set_tracer",
     "start_trace",
+    "stats_to_json",
 ]

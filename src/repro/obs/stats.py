@@ -106,6 +106,50 @@ def load_trace(path: Union[str, Path]) -> TraceStats:
     return aggregate(read_trace(path))
 
 
+#: Bump when the `repro stats --format json` layout changes incompatibly.
+STATS_SCHEMA_VERSION = 1
+
+
+def stats_to_json(stats: TraceStats) -> dict:
+    """Machine-readable rendering of :class:`TraceStats`.
+
+    The schema is pinned by ``tests/test_cli_stats.py``; every value is
+    a plain JSON scalar/object so downstream tooling (the perf ledger,
+    trajectory scripts) can consume it without this package.
+    """
+    return {
+        "schema": STATS_SCHEMA_VERSION,
+        "records": stats.records,
+        "clock": stats.clock,
+        "trace_schema": stats.schema,
+        "simulations": stats.simulations,
+        "sim_total_s": stats.sim_total_s,
+        "phases": {
+            p.phase: {"sims": p.sims, "total_s": p.total_s, "mean_s": p.mean_s}
+            for p in stats.phases.values()
+        },
+        "strategies": {
+            s.strategy: {
+                "decisions": s.decisions,
+                "cells": s.cells,
+                "arms": sorted(s.arms),
+                "mean_overhead": s.mean_overhead,
+                "observed_total_s": s.total_duration,
+            }
+            for s in stats.strategies.values()
+        },
+        "spans": {
+            name: {
+                "count": len(durs),
+                "total": sum(durs),
+                "mean": sum(durs) / len(durs) if durs else 0.0,
+            }
+            for name, durs in stats.spans.items()
+        },
+        "counters": dict(stats.counters),
+    }
+
+
 def render_stats(stats: TraceStats) -> str:
     """Human-readable per-phase / per-strategy / counter tables."""
     # Imported lazily: repro.evaluate imports repro.obs at module load.

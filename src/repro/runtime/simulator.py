@@ -39,7 +39,13 @@ from .perfmodel import CPU, GPU, PerfModel
 
 @dataclass(frozen=True)
 class TaskRecord:
-    """Trace record for one executed task."""
+    """Trace record for one executed task.
+
+    ``worker`` is the lane index of the executing worker within its
+    node's worker list (GPUs first, then CPU slots -- the
+    :func:`build_workers` ordering); -1 on records predating the field
+    (timeline exporters then fall back to a greedy lane assignment).
+    """
 
     tid: int
     name: str
@@ -48,6 +54,7 @@ class TaskRecord:
     worker_kind: str
     start: float
     end: float
+    worker: int = -1
 
 
 @dataclass(frozen=True)
@@ -358,6 +365,7 @@ class Simulator:
                     pool, key=lambda w: w.gflops * pm.efficiency[(task.name, w.kind)]
                 )
                 worker.busy = True
+                wi = ws.index(worker)
                 duration = pm.duration(task, worker.kind, worker.gflops)
                 if jitter_rng is not None:
                     duration *= max(0.1, 1.0 + jitter_rng.normal(0.0, self.jitter_sd))
@@ -370,10 +378,11 @@ class Simulator:
                 if self.trace:
                     task_records.append(
                         TaskRecord(
-                            tid, task.name, task.phase, node, worker.kind, now, end
+                            tid, task.name, task.phase, node, worker.kind,
+                            now, end, worker=wi,
                         )
                     )
-                push_event(end, _WORKER_FREE, node, ws.index(worker))
+                push_event(end, _WORKER_FREE, node, wi)
 
         # Push initially-resident remote inputs right away (time 0).
         for hid, dst in initial_push:

@@ -1,0 +1,182 @@
+"""Property tests for the utilization timeline (stdlib ``random`` only).
+
+Random-but-valid schedules are generated directly as trace records: each
+worker lane (and each NIC stream slot) holds non-overlapping intervals,
+so the binned utilization must stay a true fraction in [0, 1] no matter
+how the intervals land on bin edges.  A committed golden pins the
+``render_ascii`` art; regenerate after an intended change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/runtime/test_trace_properties.py
+"""
+
+import os
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.platform import Cluster, NetworkModel, NodeType
+from repro.runtime import (
+    DataRegistry,
+    PerfModel,
+    Simulator,
+    TaskGraph,
+    render_ascii,
+    utilization_timeline,
+)
+from repro.runtime.simulator import (
+    SimulationResult,
+    TaskRecord,
+    TransferRecord,
+)
+
+GOLDEN = Path(__file__).parent.parent / "goldens" / "render_ascii_small.txt"
+
+PHASES = ("generation", "factorization", "solve")
+
+DUO = NodeType(
+    name="duo", site="SD", category="S", cpu_desc="", gpu_desc="",
+    cpu_gflops=2.0, gpus=0, gpu_gflops=0.0, nic_gbps=8.0, memory_gb=1.0,
+    cpu_slots=2,
+)
+UNIT = NodeType(
+    name="unit", site="SD", category="S", cpu_desc="", gpu_desc="",
+    cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=8.0, memory_gb=1.0,
+    cpu_slots=1,
+)
+PM = PerfModel(efficiency={("t", "cpu"): 1.0}, overhead_s=0.0)
+NET = NetworkModel(latency_s=0.0, efficiency=1.0, streams=2)
+
+
+def synthetic_result(rng, n_nodes=2):
+    """A random valid schedule: per-lane and per-stream-slot intervals
+    never overlap, exactly like a real simulator trace."""
+    tasks = []
+    tid = 0
+    for node in range(n_nodes):
+        for lane in range(DUO.cpu_slots):
+            t = 0.0
+            for _ in range(rng.randrange(1, 6)):
+                start = t + rng.random() * 0.5
+                end = start + 0.1 + rng.random()
+                tasks.append(TaskRecord(tid, "t", rng.choice(PHASES), node,
+                                        "cpu", start, end, worker=lane))
+                tid += 1
+                t = end
+    transfers = []
+    hid = 0
+    for slot in range(NET.streams):
+        t = 0.0
+        for _ in range(rng.randrange(0, 4)):
+            start = t + rng.random() * 0.5
+            end = start + 0.05 + rng.random() * 0.5
+            transfers.append(TransferRecord(hid, 0, 1, start, end,
+                                            nbytes=8.0))
+            hid += 1
+            t = end
+    makespan = max(r.end for r in tasks + transfers)
+    spans = {}
+    for rec in tasks:
+        lo, hi = spans.get(rec.phase, (rec.start, rec.end))
+        spans[rec.phase] = (min(lo, rec.start), max(hi, rec.end))
+    return SimulationResult(
+        makespan=makespan,
+        task_count=len(tasks),
+        transfer_count=len(transfers),
+        comm_bytes=sum(r.nbytes for r in transfers),
+        comm_time=sum(r.end - r.start for r in transfers),
+        phase_spans=spans,
+        task_records=tasks,
+        transfer_records=transfers,
+    )
+
+
+class TestUtilizationProperties:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_fractions_and_shapes(self, seed):
+        rng = random.Random(seed)
+        cluster = Cluster([(DUO, 2)], network=NET)
+        res = synthetic_result(rng)
+        nbins = rng.randrange(1, 60)
+        tl = utilization_timeline(res, cluster, nbins=nbins)
+        assert len(tl.bins) == nbins + 1
+        assert tl.utilization.shape == (2, len(tl.phases), nbins)
+        assert np.all(tl.utilization >= 0.0)
+        assert np.all(tl.utilization <= 1.0 + 1e-9)
+        assert tl.transfers.shape == (2, 2, nbins)
+        assert np.all(tl.transfers >= 0.0)
+        assert np.all(tl.transfers <= 1.0 + 1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_busy_time_conserved(self, seed):
+        rng = random.Random(100 + seed)
+        cluster = Cluster([(DUO, 2)], network=NET)
+        res = synthetic_result(rng)
+        tl = utilization_timeline(res, cluster, nbins=rng.randrange(2, 40))
+        width = tl.bins[1] - tl.bins[0]
+        for node in range(2):
+            expected = sum(r.end - r.start for r in res.task_records
+                           if r.node == node)
+            measured = tl.utilization[node].sum() * width * DUO.cpu_slots
+            assert measured == pytest.approx(expected, rel=1e-9)
+        sent = sum(r.end - r.start for r in res.transfer_records)
+        assert tl.transfers[0, 0].sum() * width * NET.streams == (
+            pytest.approx(sent, rel=1e-9, abs=1e-12)
+        )
+        assert tl.transfers[1, 1].sum() * width * NET.streams == (
+            pytest.approx(sent, rel=1e-9, abs=1e-12)
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_phase_order_stable_across_binning(self, seed):
+        rng = random.Random(200 + seed)
+        cluster = Cluster([(DUO, 2)], network=NET)
+        res = synthetic_result(rng)
+        coarse = utilization_timeline(res, cluster, nbins=3)
+        fine = utilization_timeline(res, cluster, nbins=97)
+        assert coarse.phases == fine.phases
+        first_seen = []
+        for rec in res.task_records:
+            if rec.phase not in first_seen:
+                first_seen.append(rec.phase)
+        assert coarse.phases == first_seen
+
+
+class TestAsciiGolden:
+    @pytest.fixture()
+    def small_run(self):
+        cluster = Cluster([(UNIT, 2)], network=NET)
+        g = TaskGraph(DataRegistry())
+        a = g.registry.register("a", 4e9, home=0)
+        b = g.registry.register("b", 8.0, home=1)
+        g.submit("t", "generation", 1e9, writes=[a])
+        g.submit("t", "generation", 2e9, writes=[b])
+        g.submit("t", "factorization", 1e9, reads=[a], writes=[b])
+        res = Simulator(cluster, PM, trace=True).run(g)
+        return cluster, res
+
+    def test_render_ascii_matches_golden(self, small_run):
+        cluster, res = small_run
+        tl = utilization_timeline(res, cluster, nbins=24)
+        art = render_ascii(tl, cluster, show_transfers=True) + "\n"
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(art)
+            pytest.skip(f"regenerated {GOLDEN}")
+        assert GOLDEN.exists(), (
+            f"golden missing; run with REPRO_REGEN_GOLDENS=1 to create "
+            f"{GOLDEN}"
+        )
+        assert art == GOLDEN.read_text()
+
+    def test_comm_rows_toggle(self, small_run):
+        cluster, res = small_run
+        tl = utilization_timeline(res, cluster, nbins=24)
+        assert "~comm" in render_ascii(tl, cluster, show_transfers=True)
+        assert "~comm" not in render_ascii(tl, cluster)
+        bare = utilization_timeline(res, cluster, nbins=24,
+                                    include_transfers=False)
+        assert "~comm" not in render_ascii(bare, cluster,
+                                           show_transfers=True)

@@ -63,6 +63,8 @@ def small(monkeypatch, tmp_path):
     monkeypatch.setenv("REPRO_TILES_101", "10")
     monkeypatch.setenv("REPRO_TILES_128", "10")
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "banks"))
+    # The default --root-out writes BENCH_harness.json into the cwd.
+    monkeypatch.chdir(tmp_path)
 
 
 def _check(payload: dict, schema: dict) -> None:
@@ -74,7 +76,7 @@ def _check(payload: dict, schema: dict) -> None:
 class TestBenchReportSchema:
     @pytest.fixture()
     def report(self, tmp_path):
-        out = tmp_path / "BENCH_harness.json"
+        out = tmp_path / "out" / "report.json"
         assert main(BENCH_ARGS + ["--out", str(out)]) == 0
         return json.loads(out.read_text())
 
@@ -109,6 +111,16 @@ class TestBenchReportSchema:
     def test_parallel_identical_to_serial(self, report):
         assert report["identical"] is True
         assert report["speedup"] > 0.0
+
+    def test_root_copy_mirrors_report(self, report, tmp_path):
+        root = tmp_path / "BENCH_harness.json"
+        assert root.exists()
+        assert json.loads(root.read_text()) == report
+
+    def test_root_copy_can_be_disabled(self, tmp_path):
+        out = tmp_path / "report.json"
+        assert main(BENCH_ARGS + ["--out", str(out), "--root-out", ""]) == 0
+        assert not (tmp_path / "BENCH_harness.json").exists()
 
     def test_spill_warms_the_next_invocation(self, tmp_path):
         out = tmp_path / "out" / "BENCH_harness.json"

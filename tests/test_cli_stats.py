@@ -66,6 +66,50 @@ class TestTraceFlag:
             assert record["worker"]  # stable id under the tick clock
 
 
+#: Pinned top-level schema of `repro stats --format json`.
+JSON_SCHEMA = {
+    "schema": int,
+    "records": int,
+    "clock": str,
+    "trace_schema": int,
+    "simulations": int,
+    "sim_total_s": float,
+    "phases": dict,
+    "strategies": dict,
+    "spans": dict,
+    "counters": dict,
+}
+
+
+class TestStatsJson:
+    @pytest.fixture()
+    def payload(self, trace_path, capsys):
+        assert main(["stats", str(trace_path), "--format", "json"]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_schema_is_stable(self, payload):
+        assert set(payload) == set(JSON_SCHEMA)
+        for key, expected in JSON_SCHEMA.items():
+            assert isinstance(payload[key], expected), (key, payload[key])
+        assert payload["schema"] == 1
+        assert payload["clock"] == "ticks"
+
+    def test_phase_and_strategy_blocks(self, payload):
+        assert payload["simulations"] > 0
+        for block in payload["phases"].values():
+            assert set(block) == {"sims", "total_s", "mean_s"}
+        for block in payload["strategies"].values():
+            assert set(block) == {"decisions", "cells", "arms",
+                                  "mean_overhead", "observed_total_s"}
+            assert block["arms"] == sorted(block["arms"])
+
+    def test_json_agrees_with_text_rendering(self, payload, trace_path,
+                                             capsys):
+        assert main(["stats", str(trace_path)]) == 0
+        text = capsys.readouterr().out
+        assert f"trace: {payload['records']} records" in text
+
+
 class TestStatsCommand:
     def test_stats_matches_golden(self, trace_path, capsys):
         assert main(["stats", str(trace_path)]) == 0

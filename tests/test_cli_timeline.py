@@ -1,0 +1,92 @@
+"""`repro timeline`: CLI behaviour and byte-determinism of the exports.
+
+The ISSUE's acceptance criterion: the Chrome-trace JSON, Paje CSV and
+HTML report must be byte-identical across two consecutive runs *and*
+across harness worker counts (the artifacts are pure functions of the
+simulated plan, never of host parallelism).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ARTIFACTS = ("TIMELINE_b.trace.json", "TIMELINE_b.csv", "TIMELINE_b.html")
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "banks"))
+    monkeypatch.chdir(tmp_path)
+
+
+def export(tmp_path, name, extra=()):
+    out = tmp_path / name
+    assert main(["timeline", "b", "--out", str(out), "--no-ascii",
+                 *extra]) == 0
+    return {a: (out / a).read_bytes() for a in ARTIFACTS}
+
+
+class TestDeterminism:
+    def test_byte_identical_across_consecutive_runs(self, tmp_path, capsys):
+        first = export(tmp_path, "run1")
+        second = export(tmp_path, "run2")
+        assert first == second
+
+    def test_byte_identical_across_worker_counts(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        one = export(tmp_path, "w1")
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "2")
+        two = export(tmp_path, "w2")
+        assert one == two
+
+
+class TestArtifacts:
+    def test_chrome_trace_parses_with_invariants(self, tmp_path, capsys):
+        files = export(tmp_path, "out")
+        trace = json.loads(files["TIMELINE_b.trace.json"])
+        assert trace["traceEvents"]
+        other = trace["otherData"]
+        assert other["schema"] == 1
+        assert 0.0 < other["critical_path_s"] <= other["makespan_s"] + 1e-9
+        assert 0.0 <= other["mean_idleness"] <= 1.0
+
+    def test_html_is_self_contained(self, tmp_path, capsys):
+        files = export(tmp_path, "out")
+        page = files["TIMELINE_b.html"].decode("utf-8").lower()
+        assert "<svg" in page
+        assert "<script" not in page
+        assert "http" not in page
+
+    def test_csv_header(self, tmp_path, capsys):
+        files = export(tmp_path, "out")
+        first_line = files["TIMELINE_b.csv"].decode("utf-8").splitlines()[0]
+        assert first_line == (
+            "Nature,ResourceId,Type,Start,End,Duration,Value,Detail"
+        )
+
+
+class TestOutput:
+    def test_summary_and_ascii(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["timeline", "b", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "makespan" in text
+        assert "critical path" in text
+        assert "~comm" in text  # NIC occupancy rows from --ascii default
+        assert "TIMELINE_b.html" in text
+
+    def test_explicit_plan_changes_config(self, tmp_path, capsys):
+        out = tmp_path / "out"
+        assert main(["timeline", "b", "--out", str(out),
+                     "--n-fact", "2", "--n-gen", "3"]) == 0
+        assert "n_gen=3, n_fact=2" in capsys.readouterr().out
+
+    def test_invalid_plan_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="node counts"):
+            main(["timeline", "b", "--out", str(tmp_path / "out"),
+                  "--n-fact", "999"])
