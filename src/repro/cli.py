@@ -16,6 +16,8 @@ Examples
     python -m repro timeline b              # Figure 1 grade exports
     python -m repro perf record b           # append to the perf ledger
     python -m repro perf check b            # gate against the baseline
+    python -m repro faults list             # canned fault schedules
+    python -m repro faults run i --reps 5   # raw vs resilient campaign
 """
 
 from __future__ import annotations
@@ -276,6 +278,75 @@ def _cmd_perf_check(args) -> None:
         sys.exit(1)
 
 
+def _faults_schedules(args):
+    """Canned schedules sized to the command's nodes/iterations."""
+    from .faults import canned_schedules
+
+    return canned_schedules(args.nodes, args.iterations, seed=args.seed)
+
+
+def _cmd_faults_list(args) -> None:
+    from .evaluate import format_table
+
+    schedules = _faults_schedules(args)
+    print(format_table(
+        ["name", "faults", "kinds"],
+        [[key, len(s), " ".join(sorted({f.kind for f in s.faults}))]
+         for key, s in sorted(schedules.items())],
+    ))
+
+
+def _cmd_faults_describe(args) -> None:
+    schedules = _faults_schedules(args)
+    if args.name not in schedules:
+        print(f"error: unknown schedule {args.name!r}; known: "
+              f"{sorted(schedules)}", file=sys.stderr)
+        sys.exit(2)
+    schedule = schedules[args.name]
+    print(schedule.describe())
+    print(f"  fingerprint  {schedule.fingerprint()[:16]}…")
+    if args.json:
+        print(schedule.to_json())
+
+
+def _cmd_faults_run(args) -> None:
+    from .evaluate import campaign_table, run_campaign, write_campaign_report
+    from .faults import canned_schedules
+    from .measure import cached_bank
+    from .platform import get_scenario
+
+    with _maybe_traced(args):
+        bank = cached_bank(get_scenario(args.scenario), progress=True)
+        canned = canned_schedules(bank.n_total, args.iterations,
+                                  seed=args.seed)
+        unknown = [k for k in args.schedules if k not in canned]
+        if unknown:
+            print(f"error: unknown schedule(s) {unknown}; known: "
+                  f"{sorted(canned)}", file=sys.stderr)
+            sys.exit(2)
+        result = run_campaign(
+            bank,
+            schedules={k: canned[k] for k in args.schedules},
+            strategies=args.strategies or None,
+            iterations=args.iterations,
+            reps=args.reps,
+            workers=args.workers,
+            seed=args.seed,
+        )
+        print(f"fault campaign on {bank.label}: "
+              f"{len(result.fingerprints)} schedule(s), reps={args.reps}, "
+              f"iterations={args.iterations}")
+        print(campaign_table(result))
+        for imp in result.improvements():
+            mark = "improved" if imp["improved"] else "NOT improved"
+            print(f"  {imp['schedule']:<14} Resilient({imp['strategy']}) "
+                  f"regret {imp['resilient_regret']:.2f} vs raw "
+                  f"{imp['raw_regret']:.2f} -> {mark}")
+        if args.out:
+            path = write_campaign_report(result, path=args.out)
+            print(f"  report : {path}")
+
+
 def _cmd_grid(args) -> None:
     from .evaluate import figure8
     from .viz import heatmap
@@ -509,6 +580,50 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fail (exit 1) when no baseline exists instead of "
                          "warning")
     pp.set_defaults(fn=_cmd_perf_check)
+
+    p = sub.add_parser("faults", help="fault injection & resilience campaigns")
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+
+    def _faults_common(pp) -> None:
+        pp.add_argument("--nodes", type=int, default=8,
+                        help="cluster size the canned schedules are sized to")
+        pp.add_argument("--iterations", type=int, default=60,
+                        help="run length the fault windows scale with")
+        pp.add_argument("--seed", type=int, default=0,
+                        help="schedule seed (interference jitter streams)")
+
+    pp = faults_sub.add_parser("list", help="canned fault schedules")
+    _faults_common(pp)
+    pp.set_defaults(fn=_cmd_faults_list)
+
+    pp = faults_sub.add_parser("describe", help="one schedule in detail")
+    pp.add_argument("name", help="schedule name (see `repro faults list`)")
+    pp.add_argument("--json", action="store_true",
+                    help="also print the canonical JSON rendering")
+    _faults_common(pp)
+    pp.set_defaults(fn=_cmd_faults_describe)
+
+    pp = faults_sub.add_parser(
+        "run", help="raw vs resilient campaign on one scenario"
+    )
+    pp.add_argument("scenario", nargs="?", default="i",
+                    help="scenario key a..p")
+    pp.add_argument("--schedules", nargs="+",
+                    default=["straggler", "crash", "compound"],
+                    help="canned schedule names to campaign over")
+    pp.add_argument("--strategies", nargs="+", default=[],
+                    help="strategy names (default: DC, UCB, "
+                         "GP-discontinuous and their Resilient(...) "
+                         "wrappers)")
+    pp.add_argument("--iterations", type=int, default=60)
+    pp.add_argument("--reps", type=int, default=5)
+    pp.add_argument("--workers", type=int, default=1)
+    pp.add_argument("--seed", type=int, default=0,
+                    help="schedule seed (interference jitter streams)")
+    pp.add_argument("--out", default="BENCH_faults.json",
+                    help="root-level campaign artifact ('' disables)")
+    _add_trace_args(pp)
+    pp.set_defaults(fn=_cmd_faults_run)
 
     p = sub.add_parser("grid", help="2-D gen x fact sweep (Fig 8)")
     p.add_argument("scenario", nargs="?", default="f")

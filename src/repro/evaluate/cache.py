@@ -50,6 +50,7 @@ def simulation_fingerprint(
     n_fact: int,
     n_gen: int,
     perfmodel: Optional[PerfModel] = None,
+    faults: Optional[str] = None,
 ) -> str:
     """Stable content key of one deterministic simulation.
 
@@ -58,6 +59,13 @@ def simulation_fingerprint(
     weeks apart) computing the same plan agree on the key, while any
     recalibration of the performance model or bump of the sweep
     ``MODEL_VERSION`` invalidates old entries.
+
+    ``faults`` is the content fingerprint of an active fault schedule
+    (:meth:`repro.faults.models.FaultSchedule.fingerprint`): a faulted
+    simulation produces different durations for the *same* plan, so the
+    schedule must be part of the key or a warm cache would serve stale
+    stationary results.  ``None`` (no injection) leaves keys byte-identical
+    to the pre-fault layout, keeping existing spills valid.
     """
     from ..measure.sweep import MODEL_VERSION
 
@@ -74,6 +82,8 @@ def simulation_fingerprint(
         "tiles": int(tiles),
         "plan": {"n_fact": int(n_fact), "n_gen": int(n_gen)},
     }
+    if faults is not None:
+        payload["faults"] = str(faults)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -111,9 +121,12 @@ class DurationCache:
         n_fact: int,
         n_gen: int,
         perfmodel: Optional[PerfModel] = None,
+        faults: Optional[str] = None,
     ) -> str:
         """Content key of one simulation (see :func:`simulation_fingerprint`)."""
-        return simulation_fingerprint(scenario, tiles, n_fact, n_gen, perfmodel)
+        return simulation_fingerprint(
+            scenario, tiles, n_fact, n_gen, perfmodel, faults
+        )
 
     # -- core LRU ----------------------------------------------------------------
 

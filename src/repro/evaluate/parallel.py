@@ -104,7 +104,7 @@ class CellResult:
 
 
 def run_cell_trace(
-    strategy, bank, iterations: int, rng: np.random.Generator
+    strategy, bank, iterations: int, rng: np.random.Generator, injector=None
 ) -> Tuple[float, np.ndarray, np.ndarray]:
     """The propose/resample/observe loop, returning the full trace.
 
@@ -112,13 +112,31 @@ def run_cell_trace(
     (:func:`repro.evaluate.runner.run_strategy_once` delegates here) and
     the pool workers; the running ``total += y`` accumulation is the
     historical one, so totals are bit-identical everywhere.
+
+    ``injector`` (a :class:`repro.faults.injector.FaultInjector`)
+    perturbs each iteration: the platform announces its current state
+    (strategies with an ``on_fault_event`` hook can react; the paper's
+    raw strategies ignore it), proposals above the surviving-node count
+    are degraded to the feasible maximum, and the resampled duration is
+    scaled/shifted per the schedule.  Exactly one ``bank.resample`` draw
+    happens per iteration with or without an injector, so the RNG stream
+    -- and therefore the ``injector=None`` path -- is byte-identical to
+    the historical loop.
     """
     total = 0.0
     chosen: List[int] = []
     durations: List[float] = []
-    for _ in range(iterations):
+    for t in range(iterations):
+        if injector is not None:
+            hook = getattr(strategy, "on_fault_event", None)
+            if hook is not None:
+                hook(injector.event_for(t))
         n = strategy.propose()
-        y = bank.resample(n, rng)
+        if injector is None:
+            y = bank.resample(n, rng)
+        else:
+            injection = injector.plan(t, n)
+            y = injector.apply(injection, bank.resample(injection.effective_n, rng))
         strategy.observe(n, y)
         total += y
         chosen.append(n)
@@ -144,7 +162,9 @@ def build_cell_strategy(cell: EvalCell, bank, base_seed: int = 0):
     return make_strategy(cell.strategy, space, seed=cell.rep + base_seed)
 
 
-def execute_cell(cell: EvalCell, bank, iterations: int, base_seed: int = 0) -> CellResult:
+def execute_cell(
+    cell: EvalCell, bank, iterations: int, base_seed: int = 0, injector=None
+) -> CellResult:
     """Run one cell start-to-finish (also the pool worker body)."""
     start = time.perf_counter()
     rng = np.random.default_rng(
@@ -158,7 +178,7 @@ def execute_cell(cell: EvalCell, bank, iterations: int, base_seed: int = 0) -> C
     with tracer.span("cell", scenario=cell.scenario,
                      strategy=strategy.name, rep=cell.rep):
         total, chosen, durations = run_cell_trace(
-            strategy, bank, iterations, rng
+            strategy, bank, iterations, rng, injector=injector
         )
     if tracer.enabled:
         tracer.event(
@@ -199,7 +219,8 @@ def active_trace_config() -> TraceConfig:
 
 
 def run_cell_captured(
-    cell: EvalCell, bank, iterations: int, base_seed: int, cfg: TraceConfig
+    cell: EvalCell, bank, iterations: int, base_seed: int, cfg: TraceConfig,
+    injector=None,
 ) -> CellResult:
     """Execute one cell, capturing its obs events under a private tracer.
 
@@ -212,13 +233,13 @@ def run_cell_captured(
     for in-order merging by :func:`run_cells`.
     """
     if not cfg.enabled:
-        return execute_cell(cell, bank, iterations, base_seed)
+        return execute_cell(cell, bank, iterations, base_seed, injector)
     sink = MemorySink()
     tracer = Tracer(
         sink=sink, clock=TickClock() if cfg.ticks else WallClock()
     )
     with scoped(tracer):
-        result = execute_cell(cell, bank, iterations, base_seed)
+        result = execute_cell(cell, bank, iterations, base_seed, injector)
     # No tracer.close(): cells emit no registry counters, and a per-cell
     # summary record would only bloat the merged trace.
     cell_id = f"{cell.scenario}/{cell.strategy}/{cell.rep}"
@@ -270,11 +291,13 @@ _WORKER_STATE: Dict[str, object] = {}
 def _pool_init(
     banks, iterations: int, base_seed: int,
     trace_cfg: TraceConfig = TraceConfig(),
+    injector=None,
 ) -> None:
     _WORKER_STATE["banks"] = banks
     _WORKER_STATE["iterations"] = iterations
     _WORKER_STATE["base_seed"] = base_seed
     _WORKER_STATE["trace_cfg"] = trace_cfg
+    _WORKER_STATE["injector"] = injector
     # A forked worker inherits the parent's active tracer (and its open
     # sink).  Workers must never write to it -- cell events are captured
     # per cell and merged by the parent -- so disable it outright.
@@ -289,6 +312,7 @@ def _pool_run(cell: EvalCell) -> CellResult:
         _WORKER_STATE["iterations"],
         _WORKER_STATE["base_seed"],
         _WORKER_STATE["trace_cfg"],
+        _WORKER_STATE.get("injector"),
     )
 
 
@@ -312,6 +336,7 @@ def run_cells(
     workers: int = 1,
     chunksize: int = 0,
     progress: "ProgressFn | None" = None,
+    injector=None,
 ) -> List[CellResult]:
     """Execute cells, returning results in *input* order.
 
@@ -323,6 +348,11 @@ def run_cells(
     :class:`~repro.measure.bank.MeasurementBank`); stateful sources such
     as ``DriftingBank`` carry cross-cell regime clocks that a process
     pool cannot share, so they are rejected.
+
+    ``injector`` applies one fault schedule to *every* cell: it is a
+    stateless pure function of the cell-local iteration index, shipped
+    once per worker through the pool initializer, so fault application
+    is bit-identical for any worker count.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -333,7 +363,8 @@ def run_cells(
     if workers == 1:
         for i, cell in enumerate(cells):
             results.append(run_cell_captured(
-                cell, banks[cell.scenario], iterations, base_seed, trace_cfg
+                cell, banks[cell.scenario], iterations, base_seed, trace_cfg,
+                injector,
             ))
             if progress is not None:
                 progress(i + 1, total)
@@ -356,7 +387,7 @@ def run_cells(
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_pool_init,
-        initargs=(banks, iterations, base_seed, trace_cfg),
+        initargs=(banks, iterations, base_seed, trace_cfg, injector),
     ) as pool:
         for i, result in enumerate(
             pool.map(_pool_run, cells, chunksize=chunksize)

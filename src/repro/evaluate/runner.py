@@ -43,10 +43,11 @@ from .parallel import (
 
 
 def run_strategy_once(
-    strategy, bank: MeasurementBank, iterations: int, rng: np.random.Generator
+    strategy, bank: MeasurementBank, iterations: int,
+    rng: np.random.Generator, injector=None,
 ) -> float:
     """One run: total time over ``iterations`` resampled iterations."""
-    total, _, _ = run_cell_trace(strategy, bank, iterations, rng)
+    total, _, _ = run_cell_trace(strategy, bank, iterations, rng, injector)
     return total
 
 
@@ -57,16 +58,21 @@ def run_strategy(
     reps: int = config.EVAL_REPETITIONS,
     base_seed: int = 0,
     workers: int = 1,
+    injector=None,
 ) -> np.ndarray:
     """Totals of ``reps`` independent runs of a named strategy.
 
     ``workers > 1`` fans repetitions out over a process pool; totals are
-    bit-identical to the serial path for any worker count.
+    bit-identical to the serial path for any worker count.  ``injector``
+    (a :class:`repro.faults.injector.FaultInjector`) perturbs every
+    repetition identically; ``None`` leaves the stationary path
+    byte-untouched.
     """
     label = getattr(bank, "label", "_")
     cells = [EvalCell(label, name, rep) for rep in range(reps)]
     results = run_cells(
-        {label: bank}, cells, iterations, base_seed, workers=workers
+        {label: bank}, cells, iterations, base_seed, workers=workers,
+        injector=injector,
     )
     return np.asarray([r.total for r in results])
 
@@ -138,12 +144,14 @@ def evaluate_scenario(
     reps: int = config.EVAL_REPETITIONS,
     base_seed: int = 0,
     workers: int = 1,
+    injector=None,
 ) -> ScenarioEvaluation:
     """Run every strategy on one bank (one Figure 6 panel)."""
     label = getattr(bank, "label", "_")
     cells = plan_cells([label], strategies, reps)
     results = run_cells(
-        {label: bank}, cells, iterations, base_seed, workers=workers
+        {label: bank}, cells, iterations, base_seed, workers=workers,
+        injector=injector,
     )
     return assemble_evaluations({label: bank}, strategies, results)[label]
 
@@ -156,13 +164,15 @@ def evaluate_scenarios(
     progress: bool = False,
     workers: int = 1,
     progress_cb: Optional[ProgressFn] = None,
+    injector=None,
 ) -> Dict[str, ScenarioEvaluation]:
     """Figure 6: every strategy on every scenario bank.
 
     ``workers > 1`` fans the whole (scenario, strategy, repetition) grid
     out over one process pool (better load balance than per-scenario
     pools); output is byte-identical to ``workers=1``.  ``progress_cb``
-    receives ``(cells done, cells total)``.
+    receives ``(cells done, cells total)``.  ``injector`` applies one
+    fault schedule across the grid (``None`` = stationary, the default).
     """
     cells = plan_cells(banks, strategies, reps)
     if progress_cb is None and progress:
@@ -171,6 +181,7 @@ def evaluate_scenarios(
     with tracer.span("evaluate.scenarios", scenarios=len(banks),
                      cells=len(cells), workers=workers):
         results = run_cells(
-            banks, cells, iterations, workers=workers, progress=progress_cb
+            banks, cells, iterations, workers=workers, progress=progress_cb,
+            injector=injector,
         )
         return assemble_evaluations(banks, strategies, results)

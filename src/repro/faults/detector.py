@@ -1,0 +1,214 @@
+"""Online change-point detection over observed iteration durations.
+
+A strategy that has converged only sees draws from one arm; when the
+platform drifts (straggler, interference, lost nodes) those draws shift
+and the stale model silently bleeds time.  The resilience layer needs a
+cheap, online, *low-false-positive* signal that the duration stream is
+no longer stationary.
+
+Two detectors, both O(1) per observation and free of any global state:
+
+* :class:`PageHinkleyDetector` -- the classic Page-Hinkley test on the
+  cumulative deviation from the running mean.  The default in
+  :class:`repro.faults.resilience.ResilientStrategy`.
+* :class:`SlidingWindowDetector` -- compares the mean of the most
+  recent window against the preceding reference window; simpler to
+  reason about, used for cross-checks and ablations.
+
+Thresholds are expressed in units of the stream's own noise scale
+(estimated over the first ``burn_in`` observations), so the same
+defaults work for a 6-second scenario and a 60-second one.
+
+**Pinned false-positive bound**: on stationary Gaussian traces of the
+Figure 6 shape (30 repetitions x 127 iterations, sd 0.5), the default
+Page-Hinkley configuration must alarm on at most
+:data:`STATIONARY_FP_BOUND` of repetitions.  The bound is enforced by
+``tests/faults/test_detector.py``; loosening it is an interface change.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+import numpy as np
+
+#: Pinned bound on the fraction of stationary repetitions (Figure 6
+#: shape: 127 iterations, Gaussian noise) on which the default
+#: Page-Hinkley detector may raise at least one alarm.
+STATIONARY_FP_BOUND = 0.1
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One detected change point."""
+
+    index: int            # 0-based observation index that tripped the test
+    statistic: float      # test statistic at the trip (scale units)
+    direction: str        # "up" (durations grew) or "down" (shrank)
+
+
+@dataclass
+class PageHinkleyDetector:
+    """Page-Hinkley test for mean shifts in a duration stream.
+
+    Maintains the cumulative deviation of observations from their
+    running mean, minus a drift tolerance ``delta``; an alarm fires when
+    the deviation climbs ``threshold`` above its running minimum (mean
+    increased) or falls ``threshold`` below its running maximum (mean
+    decreased).  Both ``delta`` and ``threshold`` are multiples of the
+    stream's noise scale, estimated as the standard deviation of the
+    first ``burn_in`` observations (with a floor of ``min_scale``).
+
+    After an alarm the statistics reset, so a long fault window raises
+    one alarm at its onset and (usually) another when it clears --
+    exactly the two moments a resilient strategy must re-explore.
+    """
+
+    delta: float = 0.5
+    threshold: float = 12.0
+    burn_in: int = 16
+    min_scale: float = 1e-3
+    two_sided: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError("delta must be non-negative")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.burn_in < 2:
+            raise ValueError("burn_in must be >= 2")
+        self.alarms: List[Alarm] = []
+        self._seen = 0
+        self.reset()
+
+    # -- state -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restart the running statistics (alarm history is kept)."""
+        self._warmup: List[float] = []
+        self._scale: Optional[float] = None
+        self._count = 0
+        self._mean = 0.0
+        self._m_up = 0.0
+        self._m_up_min = 0.0
+        self._m_down = 0.0
+        self._m_down_max = 0.0
+
+    @property
+    def scale(self) -> Optional[float]:
+        """Estimated noise scale (None until burn-in completes)."""
+        return self._scale
+
+    @property
+    def observations(self) -> int:
+        """Total observations fed in (across resets)."""
+        return self._seen
+
+    # -- online update -----------------------------------------------------------
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when a change point is detected."""
+        value = float(value)
+        self._seen += 1
+        if self._scale is None:
+            self._warmup.append(value)
+            if len(self._warmup) < self.burn_in:
+                return False
+            self._scale = max(
+                float(np.std(self._warmup)), self.min_scale
+            )
+            for v in self._warmup:
+                self._accumulate(v)
+            self._warmup = []
+            return False
+        self._accumulate(value)
+        return self._test()
+
+    def _accumulate(self, value: float) -> None:
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        drift = self.delta * (self._scale or 0.0)
+        dev = value - self._mean
+        self._m_up += dev - drift
+        self._m_up_min = min(self._m_up_min, self._m_up)
+        self._m_down += dev + drift
+        self._m_down_max = max(self._m_down_max, self._m_down)
+
+    def _test(self) -> bool:
+        lam = self.threshold * (self._scale or 1.0)
+        up = self._m_up - self._m_up_min
+        down = self._m_down_max - self._m_down
+        if up > lam:
+            self._alarm("up", up / (self._scale or 1.0))
+            return True
+        if self.two_sided and down > lam:
+            self._alarm("down", down / (self._scale or 1.0))
+            return True
+        return False
+
+    def _alarm(self, direction: str, statistic: float) -> None:
+        self.alarms.append(Alarm(
+            index=self._seen - 1, statistic=float(statistic),
+            direction=direction,
+        ))
+        self.reset()
+
+
+@dataclass
+class SlidingWindowDetector:
+    """Mean-shift detector over two adjacent sliding windows.
+
+    Keeps the last ``2 * window`` observations split into a reference
+    half and a recent half; alarms when the recent mean departs from the
+    reference mean by more than ``threshold`` times the pooled standard
+    deviation.  More memory than Page-Hinkley but directly
+    interpretable ("the last 10 iterations are 3 sigma slower than the
+    10 before").
+    """
+
+    window: int = 10
+    threshold: float = 3.0
+    min_scale: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.alarms: List[Alarm] = []
+        self._seen = 0
+        self._buffer: Deque[float] = deque(maxlen=2 * self.window)
+
+    def reset(self) -> None:
+        """Drop the buffered observations (alarm history is kept)."""
+        self._buffer.clear()
+
+    @property
+    def observations(self) -> int:
+        """Total observations fed in (across resets)."""
+        return self._seen
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when a change point is detected."""
+        self._seen += 1
+        self._buffer.append(float(value))
+        if len(self._buffer) < 2 * self.window:
+            return False
+        values = np.asarray(self._buffer, dtype=float)
+        reference, recent = values[: self.window], values[self.window:]
+        pooled = max(
+            float(np.sqrt((np.var(reference) + np.var(recent)) / 2.0)),
+            self.min_scale,
+        )
+        shift = float(np.mean(recent) - np.mean(reference))
+        if abs(shift) > self.threshold * pooled:
+            self.alarms.append(Alarm(
+                index=self._seen - 1,
+                statistic=abs(shift) / pooled,
+                direction="up" if shift > 0 else "down",
+            ))
+            self.reset()
+            return True
+        return False

@@ -12,6 +12,7 @@ shift.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -34,7 +35,7 @@ class NoiseModel:
 
     sd: float = config.SIMULATION_NOISE_SD
     outlier_prob: float = 0.0
-    outlier_shift: tuple = (1.0, 5.0)
+    outlier_shift: Tuple[float, float] = (1.0, 5.0)
 
     def __post_init__(self) -> None:
         if self.sd < 0:

@@ -69,6 +69,37 @@ class ActionSpace:
         """
         return min(self.actions, key=lambda a: (abs(a - n), a))
 
+    def contract(self, max_n: int) -> "ActionSpace":
+        """Sub-space surviving the loss of nodes above ``max_n``.
+
+        Used by the fault-resilience layer when crashes shrink the
+        platform: actions above ``max_n`` stop existing, ``n_total``
+        becomes the largest surviving action (the class invariant), and
+        group boundaries above it are dropped.  The LP bound callable is
+        shared -- per-action bounds of surviving actions are unchanged
+        by other nodes dying.  Contracting to at least the current
+        ``n_total`` returns ``self`` (nothing was lost).  A single
+        surviving action is a valid degenerate space; losing *every*
+        action is an error the fault schedule validation should have
+        caught upstream.
+        """
+        if max_n >= self.n_total:
+            return self
+        surviving = tuple(a for a in self.actions if a <= max_n)
+        if not surviving:
+            raise ValueError(
+                f"no action survives contraction to max_n={max_n} "
+                f"(smallest action is {self.actions[0]})"
+            )
+        return ActionSpace(
+            actions=surviving,
+            n_total=surviving[-1],
+            group_boundaries=tuple(
+                b for b in self.group_boundaries if b <= surviving[-1]
+            ),
+            lp_bound=self.lp_bound,
+        )
+
     @classmethod
     def from_cluster(
         cls,

@@ -47,6 +47,10 @@ class DichotomyStrategy(Strategy):
 
     def _next_action(self) -> int:
         if self._done:
+            # A degenerate (single-action) space is exhausted before
+            # anything was measured; the only action is the answer.
+            if not self._stats:
+                return self.space.n_total
             return self.best_observed()
         return self.space.actions[self._pending[0]]
 

@@ -41,6 +41,35 @@ from .stochastic import SimulatedAnnealingStrategy, StochasticApproximationStrat
 #: Factory type: (space, seed) -> Strategy.
 StrategyFactory = Callable[[ActionSpace, int], Strategy]
 
+def _resilient_factory(inner: str) -> StrategyFactory:
+    """Factory for the ``Resilient(<inner>)`` fault-tolerant wrapper.
+
+    The wrapper class lives in :mod:`repro.faults.resilience` (the fault
+    subsystem), which imports this package for ``make_strategy`` -- the
+    import happens lazily at build time so neither package needs the
+    other at module load.
+    """
+
+    def build(space: ActionSpace, seed: int) -> Strategy:
+        from ..faults.resilience import ResilientStrategy
+
+        return ResilientStrategy(space, seed, inner=inner)
+
+    return build
+
+
+#: Inner strategies wrapped as ``Resilient(<name>)`` registry entries
+#: (the paper's seven; extensions can be wrapped explicitly).
+RESILIENT_WRAPPED = (
+    "DC",
+    "Right-Left",
+    "Brent",
+    "UCB",
+    "UCB-struct",
+    "GP-UCB",
+    "GP-discontinuous",
+)
+
 _REGISTRY: Dict[str, StrategyFactory] = {
     # The paper's seven (Figure 6).
     "DC": lambda space, seed: DichotomyStrategy(space, seed),
@@ -57,6 +86,11 @@ _REGISTRY: Dict[str, StrategyFactory] = {
     "GP-EI": lambda space, seed: GPEIStrategy(space, seed),
     "GP-discontinuous-windowed": lambda space, seed: WindowedGPDiscontinuousStrategy(space, seed),
 }
+
+# Fault-tolerant wrappers (repro.faults): one per paper strategy.
+_REGISTRY.update({
+    f"Resilient({name})": _resilient_factory(name) for name in RESILIENT_WRAPPED
+})
 
 #: Figure 6 ordering.
 STRATEGY_ORDER = (
@@ -79,6 +113,9 @@ STRATEGY_GROUPS: Dict[str, str] = {
     "GP-UCB": "GP",
     "GP-discontinuous": "GP",
 }
+STRATEGY_GROUPS.update({
+    f"Resilient({name})": "Resilient" for name in RESILIENT_WRAPPED
+})
 
 
 def strategy_names() -> List[str]:
@@ -105,6 +142,7 @@ def make_strategy(name: str, space: ActionSpace, seed: int = 0) -> Strategy:
 __all__ = [
     "AllNodesStrategy",
     "OracleStrategy",
+    "RESILIENT_WRAPPED",
     "STRATEGY_GROUPS",
     "STRATEGY_ORDER",
     "StrategyFactory",

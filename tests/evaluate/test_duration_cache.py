@@ -91,6 +91,28 @@ class TestContentKeys:
         assert (simulation_fingerprint(s, 10, 5, 14)
                 != simulation_fingerprint(s, 10, 5, 5))
 
+    def test_key_tracks_fault_schedule(self):
+        from repro.faults import STATIONARY, NodeCrash, FaultSchedule
+
+        s = get_scenario("b")
+        crash = FaultSchedule(label="crash", faults=(NodeCrash(node=14),))
+        base = simulation_fingerprint(s, 10, 5, 14)
+        # No schedule (None) keeps the historical key layout byte-exact:
+        # a warm pre-fault spill stays valid.
+        assert simulation_fingerprint(s, 10, 5, 14, faults=None) == base
+        # Any schedule -- even the empty stationary one -- keys apart, and
+        # different schedules key apart from each other.
+        faulted = simulation_fingerprint(
+            s, 10, 5, 14, faults=crash.fingerprint()
+        )
+        stationary = simulation_fingerprint(
+            s, 10, 5, 14, faults=STATIONARY.fingerprint()
+        )
+        assert base != faulted != stationary
+        assert DurationCache().key_for(
+            s, 10, 5, 14, faults=crash.fingerprint()
+        ) == faulted
+
     def test_key_tracks_perfmodel_calibration(self):
         from repro.runtime import PerfModel
 

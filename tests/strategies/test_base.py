@@ -44,6 +44,54 @@ class TestActionSpace:
         assert space.actions == tuple(range(2, 15))
 
 
+class TestActionSpaceContract:
+    def test_contract_drops_lost_actions(self, space14):
+        sub = space14.contract(9)
+        assert sub.actions == tuple(range(2, 10))
+        assert sub.n_total == 9
+        assert sub.group_boundaries == (2, 8)
+
+    def test_contract_noop_at_or_above_n(self, space14):
+        assert space14.contract(14) is space14
+        assert space14.contract(99) is space14
+
+    def test_contract_shares_lp_bound(self):
+        space = ActionSpace(actions=(2, 4, 8), n_total=8,
+                            lp_bound=lambda n: 100.0 / n)
+        sub = space.contract(4)
+        assert sub.lp_bound is space.lp_bound
+        assert sub.lp_bound(4) == pytest.approx(25.0)
+
+    def test_contract_between_actions(self):
+        # max_n between two allowed actions keeps only the lower ones.
+        space = ActionSpace(actions=(2, 4, 8, 10), n_total=10)
+        sub = space.contract(7)
+        assert sub.actions == (2, 4)
+        assert sub.n_total == 4
+
+    def test_contract_clips_pending_proposal_of_crashed_best(self, space14):
+        # A proposal queued for the (crashed) best arm must re-clip into
+        # the surviving space, never escape it.
+        pending = space14.n_total          # the best arm just crashed
+        sub = space14.contract(10)
+        clipped = sub.clip(pending)
+        assert clipped == 10
+        assert clipped in sub.actions
+
+    def test_contract_single_action_degenerate(self, space14):
+        sub = space14.contract(2)
+        assert sub.actions == (2,)
+        assert sub.n_total == 2
+        assert len(sub) == 1
+        # The degenerate space still clips everything onto its one arm.
+        assert sub.clip(14) == 2
+        assert sub.clip(1) == 2
+
+    def test_contract_below_smallest_action_raises(self, space14):
+        with pytest.raises(ValueError):
+            space14.contract(1)
+
+
 class TestStrategyBookkeeping:
     def test_all_nodes_always_n(self, space14):
         s = AllNodesStrategy(space14)

@@ -45,6 +45,16 @@ class TestRegistryDeterminism:
         assert {"DC", "Right-Left", "Brent", "UCB", "UCB-struct",
                 "GP-UCB", "GP-discontinuous"} <= set(names)
 
+    def test_registry_covers_resilient_wrappers(self):
+        from repro.strategies.registry import RESILIENT_WRAPPED
+
+        names = set(registered_names())
+        assert RESILIENT_WRAPPED == ("DC", "Right-Left", "Brent", "UCB",
+                                     "UCB-struct", "GP-UCB",
+                                     "GP-discontinuous")
+        for inner in RESILIENT_WRAPPED:
+            assert f"Resilient({inner})" in names
+
     @pytest.mark.parametrize("name", registered_names())
     def test_same_seed_same_actions(self, name, space):
         first = drive(name, space, seed=3)
