@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .engine import Analyzer, all_rules
 from .findings import Report
+from .sarif import to_sarif
 
 #: Directories analyzed when no explicit paths are given (those that exist).
 DEFAULT_TARGETS = ("src", "tests", "benchmarks")
@@ -64,12 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on any non-baselined finding and on stale baseline entries",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
         "--select", metavar="IDS", default=None,
         help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--flow", action="store_true",
+        help=(
+            "enable the interprocedural flow rules (DET010-DET013, "
+            "PURE001, POOL001-POOL002); they need the whole src corpus"
+        ),
+    )
+    parser.add_argument(
+        "--graph", type=Path, metavar="PATH", default=None,
+        help="write the project call graph as JSON to PATH",
+    )
+    parser.add_argument(
+        "--write-purity", type=Path, metavar="PATH", default=None,
+        help="write the purity-inference artifact (analysis-purity.json)",
+    )
+    parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite the baseline keeping only entries that still match",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -83,8 +103,9 @@ def _render_text(report: Report, strict: bool, out) -> None:
         print(finding.render(), file=out)
     for entry in report.stale_baseline:
         print(
-            f"{entry.path}: stale baseline entry for {entry.rule} "
-            f"(context no longer present): {entry.context!r} — delete it",
+            f"{entry.path}: stale suppression: baseline entry for "
+            f"{entry.rule} no longer matches any finding: "
+            f"{entry.context!r} — delete it or run --prune-baseline",
             file=out,
         )
     n = len(report.findings)
@@ -123,7 +144,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.select:
         only = [s.strip() for s in args.select.split(",") if s.strip()]
     try:
-        rules = all_rules(only=only)
+        rules = all_rules(only=only, include_opt_in=args.flow)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -131,14 +152,22 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     if args.list_rules:
         for rule in rules:
             scopes = ",".join(rule.scopes) if rule.scopes else "all"
+            opt = " (opt-in)" if rule.opt_in else ""
             print(
                 f"{'/'.join(rule.ids):28} [{rule.severity}] "
-                f"(scope: {scopes}) {rule.description}",
+                f"(scope: {scopes}){opt} {rule.description}",
                 file=out,
             )
         return 0
 
     root = (args.root or find_root()).resolve()
+    for explicit in args.paths:
+        if not (root / explicit).exists() and not Path(explicit).exists():
+            print(
+                f"error: path {explicit!r} does not exist under {root}",
+                file=sys.stderr,
+            )
+            return 2
     targets: List[str] = list(args.paths) or [
         t for t in DEFAULT_TARGETS if (root / t).exists()
     ]
@@ -159,6 +188,19 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     analyzer = Analyzer(rules=rules, baseline=baseline)
     report = analyzer.run_paths(root, targets)
 
+    if args.prune_baseline:
+        stale = {e.fingerprint for e in report.stale_baseline}
+        kept = [e for e in baseline.entries if e.fingerprint not in stale]
+        pruned = Baseline(entries=kept)
+        pruned.write(baseline_path)
+        print(
+            f"pruned {len(baseline.entries) - len(kept)} stale "
+            f"entr{'y' if len(baseline.entries) - len(kept) == 1 else 'ies'}, "
+            f"kept {len(kept)} in {baseline_path}",
+            file=out,
+        )
+        return 0
+
     if args.write_baseline:
         Baseline.from_findings(report.findings).write(baseline_path)
         print(
@@ -167,11 +209,46 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         )
         return 0
 
+    if args.graph is not None or args.write_purity is not None:
+        code = _write_flow_artifacts(analyzer, args, out)
+        if code != 0:
+            return code
+
     if args.format == "json":
         _render_json(report, args.strict, out)
+    elif args.format == "sarif":
+        print(json.dumps(to_sarif(report, rules), indent=2), file=out)
     else:
         _render_text(report, args.strict, out)
     return report.exit_code(strict=args.strict)
+
+
+def _write_flow_artifacts(analyzer: Analyzer, args, out) -> int:
+    """Emit ``--graph`` / ``--write-purity`` artifacts from the run."""
+    from .flow import FlowContext, graph_to_json
+    from .flow.purity import purity_to_json
+
+    src_modules = [m for m in analyzer.modules if m.scope == "src"]
+    if not src_modules:
+        print("error: flow artifacts need src/ in the analyzed paths",
+              file=sys.stderr)
+        return 2
+    ctx = FlowContext.for_modules(analyzer.shared, src_modules)
+    if args.graph is not None:
+        args.graph.write_text(
+            json.dumps(graph_to_json(ctx.graph), indent=2,
+                       sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote call graph to {args.graph}", file=out)
+    if args.write_purity is not None:
+        args.write_purity.write_text(
+            json.dumps(purity_to_json(ctx.purity), indent=2,
+                       sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote purity artifact to {args.write_purity}", file=out)
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -117,10 +117,14 @@ class Report:
     def exit_code(self, strict: bool = False) -> int:
         """0 when clean.
 
-        Non-strict: only non-baselined ERROR findings fail the run.
-        Strict: any non-baselined finding fails, and so do stale
-        baseline entries (the baseline is not allowed to rot).
+        Non-strict: non-baselined ERROR findings fail the run, and so
+        do stale baseline entries — a suppression that no longer
+        matches anything is rot that must be deleted (or pruned with
+        ``--prune-baseline``) in the same change that fixed it.
+        Strict: any non-baselined finding of any severity fails too.
         """
-        if strict:
-            return 1 if (self.findings or self.stale_baseline) else 0
+        if strict and self.findings:
+            return 1
+        if self.stale_baseline:
+            return 1
         return 1 if any(f.severity >= Severity.ERROR for f in self.findings) else 0

@@ -1,0 +1,47 @@
+"""Interprocedural flow layer: call graph, taint, purity, pool safety.
+
+The per-module rules of :mod:`repro.analysis.rules` see one file at a
+time, so a seed that leaks through three call frames, a wall-clock read
+laundered through a helper, or an unpicklable callable handed to the
+process pool are all invisible to them.  This package adds the
+whole-program view:
+
+* :mod:`repro.analysis.flow.callgraph` — project call graph + import
+  graph (intra-package calls, class-scope method lookup,
+  ``functools.partial`` and pool-submitted callables);
+* :mod:`repro.analysis.flow.taint` — source/sink/sanitizer dataflow
+  over the call graph (RNG / WALLCLOCK / SET-ORDER / STATEFUL kinds);
+* :mod:`repro.analysis.flow.determinism` — rules DET010–DET013;
+* :mod:`repro.analysis.flow.purity` — side-effect inference for every
+  function (pure / reads-state / mutates-state / io), the
+  ``analysis-purity.json`` artifact, and the PURE001 hot-path gate;
+* :mod:`repro.analysis.flow.pool` — POOL001/POOL002 process-pool
+  safety lints (pickle-reachability, stateful shipments).
+
+Flow rules are *opt-in* (``repro lint --flow``): they need the whole
+``src`` corpus to be meaningful, so partial-tree runs skip them.  All
+of it is stdlib-``ast`` only, like the rest of the subsystem.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph, build_callgraph, graph_to_json
+from .context import FlowContext
+from .purity import PurityReport, infer_purity, purity_to_json
+from .taint import RNG, SET_ORDER, STATEFUL, UNSEEDED, WALLCLOCK, TaintEngine
+
+__all__ = [
+    "CallGraph",
+    "FlowContext",
+    "PurityReport",
+    "RNG",
+    "SET_ORDER",
+    "STATEFUL",
+    "TaintEngine",
+    "UNSEEDED",
+    "WALLCLOCK",
+    "build_callgraph",
+    "graph_to_json",
+    "infer_purity",
+    "purity_to_json",
+]

@@ -1,0 +1,711 @@
+"""Project call graph + import graph.
+
+Builds a whole-corpus view from the :class:`~repro.analysis.engine.
+ParsedModule` list the engine already holds:
+
+* every function (module-level, method, nested) becomes a node with a
+  stable qualified name (``repro.evaluate.parallel.run_cells``,
+  ``repro.runtime.simulator.Simulator.run``,
+  ``…Simulator.run.<locals>.dispatch``);
+* call edges are resolved through the import graph (absolute and
+  relative imports, package re-exports), class scope (``self.m()`` and
+  constructor-typed locals), ``functools.partial`` wrapping, and —
+  with a bounded duck-typed fallback — method names unique-ish in the
+  corpus;
+* submissions to a ``ProcessPoolExecutor`` (``pool.map``/``submit``,
+  ``initializer=``/``initargs=``) are recorded as :class:`PoolSite`
+  rows so the taint and pool-safety rules can inspect exactly what
+  crosses the process boundary.
+
+Resolution is best-effort and *sound-ish for this codebase*: unresolved
+callees are kept as dotted externals (``time.time``, ``numpy.asarray``)
+rather than dropped, so the taint pass can still treat them as sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..engine import ParsedModule
+
+#: Duck-typed method resolution gives up beyond this many candidates.
+DYNAMIC_CANDIDATE_CAP = 4
+
+#: Callables that construct a process pool.
+POOL_CONSTRUCTORS = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Pool methods that ship a callable to workers.
+POOL_SUBMIT_METHODS = {"submit", "map", "imap", "imap_unordered",
+                       "apply", "apply_async", "starmap"}
+
+#: Local type marker for variables bound to a live pool object.
+_POOL_TYPE = "@pool"
+
+
+def module_name(rel: str) -> str:
+    """Dotted module name of a repo-relative path.
+
+    ``src/repro/evaluate/parallel.py`` → ``repro.evaluate.parallel``;
+    ``src/repro/obs/__init__.py`` → ``repro.obs``;
+    ``tests/analysis/test_engine.py`` → ``tests.analysis.test_engine``.
+    """
+    parts = rel.split("/")
+    if parts[0] == "src":
+        parts = parts[1:]
+    if not parts:
+        return rel
+    last = parts[-1]
+    if last.endswith(".py"):
+        last = last[:-3]
+    if last == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [last]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function node of the call graph."""
+
+    qual: str
+    module: str                      # repo-relative path
+    name: str
+    lineno: int
+    node: ast.AST
+    class_name: Optional[str] = None
+    nested: bool = False
+    params: Tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_module_level(self) -> bool:
+        """Pickle-reachable by qualified name (not nested, not a method)."""
+        return not self.nested and self.class_name is None
+
+
+@dataclass
+class ClassInfo:
+    """One class of the corpus (single-file view; bases by name)."""
+
+    name: str
+    qual: str
+    module: str
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call/reference: ``caller`` uses ``callee``.
+
+    ``kind`` is ``call`` (direct call), ``ref`` (function passed as a
+    value), ``partial`` (wrapped by functools.partial), ``dynamic``
+    (duck-typed method resolution — possibly over-approximate) or
+    ``pool`` (shipped to a process pool).
+    """
+
+    caller: str
+    callee: str
+    kind: str
+    lineno: int
+    module: str
+
+
+@dataclass
+class PoolSite:
+    """One statically-visible process-pool crossing."""
+
+    module: str
+    caller: str
+    lineno: int
+    node: ast.Call
+    kind: str                        # "submit" | "map" | "init"
+    callee: Optional[str]            # resolved submitted callable
+    callee_node: Optional[ast.AST]   # its expression (for POOL001)
+    args: Tuple[ast.AST, ...]        # shipped argument expressions
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table."""
+
+    rel: str
+    name: str
+    imports: Dict[str, str] = field(default_factory=dict)  # alias → dotted
+    defs: Dict[str, str] = field(default_factory=dict)     # name → qual
+    module_globals: Set[str] = field(default_factory=set)  # assigned names
+
+
+class CallGraph:
+    """The resolved whole-corpus graph."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.module_by_name: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.class_by_name: Dict[str, List[str]] = {}
+        self.method_index: Dict[str, List[str]] = {}
+        self.edges: List[CallEdge] = []
+        self.pool_sites: List[PoolSite] = []
+        #: id(ast.Call) → resolved callee names (for the taint pass).
+        self.resolutions: Dict[int, Tuple[str, ...]] = {}
+        #: (caller, callee) → kinds of evidence for the edge; an edge
+        #: supported *only* by "dynamic" (multi-candidate duck-typed
+        #: method match) is over-approximate and precision-sensitive
+        #: passes may skip it.
+        self.edge_kinds: Dict[Tuple[str, str], Set[str]] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------------
+
+    def add_edge(self, edge: CallEdge) -> None:
+        self.edges.append(edge)
+        self.edge_kinds.setdefault(
+            (edge.caller, edge.callee), set()).add(edge.kind)
+        self._succ.setdefault(edge.caller, set()).add(edge.callee)
+        self._pred.setdefault(edge.callee, set()).add(edge.caller)
+
+    # -- queries -----------------------------------------------------------------
+
+    def successors(self, qual: str) -> Set[str]:
+        return self._succ.get(qual, set())
+
+    def callers_of(self, qual: str) -> Set[str]:
+        return self._pred.get(qual, set())
+
+    def closure(self, roots: Sequence[str]) -> Set[str]:
+        """All nodes reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._succ.get(cur, ()))
+        return seen
+
+    def reaches(self, targets: Sequence[str]) -> Set[str]:
+        """All nodes from which some target is reachable (targets incl.)."""
+        seen: Set[str] = set()
+        stack = list(targets)
+        while stack:
+            cur = stack.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            stack.extend(self._pred.get(cur, ()))
+        return seen
+
+    def resolve_dotted(self, dotted: str, _depth: int = 0) -> str:
+        """Follow re-exports: ``repro.obs.get_tracer`` → defining qual."""
+        if _depth > 8 or not dotted:
+            return dotted
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        head, _, sym = dotted.rpartition(".")
+        mod = self.module_by_name.get(head)
+        if mod is not None and sym:
+            if sym in mod.defs:
+                return mod.defs[sym]
+            if sym in mod.imports:
+                return self.resolve_dotted(mod.imports[sym], _depth + 1)
+        return dotted
+
+    def lookup_method(self, class_qual: str, name: str,
+                      _depth: int = 0) -> Optional[str]:
+        """Method ``name`` on ``class_qual`` or its corpus bases."""
+        if _depth > 6:
+            return None
+        info = self.classes.get(class_qual)
+        if info is None:
+            return None
+        if name in info.methods:
+            return info.methods[name]
+        mod = self.modules.get(info.module)
+        for base in info.bases:
+            base_qual = None
+            if mod is not None:
+                if base in mod.defs:
+                    base_qual = mod.defs[base]
+                elif base in mod.imports:
+                    base_qual = self.resolve_dotted(mod.imports[base])
+            if base_qual is None:
+                candidates = self.class_by_name.get(base, [])
+                base_qual = candidates[0] if len(candidates) == 1 else None
+            if base_qual is not None:
+                found = self.lookup_method(base_qual, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+
+# -- AST helpers -------------------------------------------------------------------
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def iter_stmts(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements in source order, descending into compound statements
+    but *not* into nested function/class definitions."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for block in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, block, None)
+            if inner:
+                yield from iter_stmts(inner)
+        for handler in getattr(stmt, "handlers", ()):
+            yield from iter_stmts(handler.body)
+
+
+def walk_expr(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested defs/lambdas."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def stmt_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    """Call expressions belonging directly to one statement.
+
+    Shallow by design: nested block statements are *not* descended into
+    (``iter_stmts`` already yields them separately, so a deep walk here
+    would visit every call once per nesting level), and neither are
+    nested function bodies.  Decorators and argument defaults of a
+    ``def`` statement do count — they execute in the enclosing scope.
+    """
+    for child in ast.iter_child_nodes(stmt):
+        if not isinstance(child, (ast.expr, ast.withitem)):
+            continue
+        for node in walk_expr(child):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+# -- builder -----------------------------------------------------------------------
+
+
+class _Scope:
+    """Resolution environment of one function body."""
+
+    def __init__(self, graph: CallGraph, mod: ModuleInfo,
+                 func: Optional[FunctionInfo]) -> None:
+        self.graph = graph
+        self.mod = mod
+        self.func = func
+        self.local_defs: Dict[str, str] = {}   # nested def name → qual
+        self.var_types: Dict[str, str] = {}    # var → class qual / @pool
+        self.var_funcs: Dict[str, str] = {}    # var → function qual
+
+    @property
+    def class_qual(self) -> Optional[str]:
+        if self.func is not None and self.func.class_name is not None:
+            return f"{self.mod.name}.{self.func.class_name}"
+        return None
+
+
+class _Builder:
+    def __init__(self, modules: Sequence[ParsedModule]) -> None:
+        self.graph = CallGraph()
+        self.parsed = list(modules)
+
+    def build(self) -> CallGraph:
+        for pm in self.parsed:
+            self._collect_module(pm)
+        for pm in self.parsed:
+            mod = self.graph.modules[pm.rel]
+            self._resolve_module(pm, mod)
+        return self.graph
+
+    # -- pass 1: symbol tables ---------------------------------------------------
+
+    def _collect_module(self, pm: ParsedModule) -> None:
+        mod = ModuleInfo(rel=pm.rel, name=module_name(pm.rel))
+        g = self.graph
+        g.modules[pm.rel] = mod
+        g.module_by_name[mod.name] = mod
+        pkg_parts = mod.name.split(".")
+        for node in ast.walk(pm.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    # Relative: level=1 → current package, 2 → parent …
+                    # A module's package is its dotted name minus the leaf
+                    # (the name itself for __init__ files).
+                    is_pkg = pm.rel.endswith("/__init__.py")
+                    base_parts = pkg_parts if is_pkg \
+                        else pkg_parts[:-1]
+                    up = node.level - 1
+                    base_parts = base_parts[:len(base_parts) - up] if up \
+                        else base_parts
+                    base = ".".join(base_parts)
+                else:
+                    base = ""
+                prefix = ".".join(p for p in (base, node.module or "") if p)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{prefix}.{alias.name}" if prefix \
+                        else alias.name
+        self._collect_defs(pm, mod, pm.tree.body, prefix=mod.name,
+                           class_name=None, nested=False)
+        for stmt in pm.tree.body:
+            for target in getattr(stmt, "targets", []) or \
+                    ([stmt.target] if isinstance(
+                        stmt, (ast.AnnAssign, ast.AugAssign)) else []):
+                if isinstance(target, ast.Name):
+                    mod.module_globals.add(target.id)
+
+    def _collect_defs(self, pm: ParsedModule, mod: ModuleInfo,
+                      body: Sequence[ast.stmt], prefix: str,
+                      class_name: Optional[str], nested: bool) -> None:
+        g = self.graph
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                args = stmt.args
+                params = tuple(
+                    a.arg for a in
+                    list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+                info = FunctionInfo(
+                    qual=qual, module=pm.rel, name=stmt.name,
+                    lineno=stmt.lineno, node=stmt, class_name=class_name,
+                    nested=nested, params=params,
+                )
+                g.functions[qual] = info
+                if not nested and class_name is None:
+                    mod.defs[stmt.name] = qual
+                if class_name is not None and not nested:
+                    cls = g.classes[f"{mod.name}.{class_name}"]
+                    cls.methods[stmt.name] = qual
+                    g.method_index.setdefault(stmt.name, []).append(qual)
+                self._collect_defs(
+                    pm, mod, stmt.body, prefix=f"{qual}.<locals>",
+                    class_name=None, nested=True,
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}.{stmt.name}"
+                bases = tuple(
+                    b.id if isinstance(b, ast.Name) else
+                    (_attr_chain(b)[-1] if _attr_chain(b) else "")
+                    for b in stmt.bases
+                )
+                g.classes[qual] = ClassInfo(
+                    name=stmt.name, qual=qual, module=pm.rel, bases=bases,
+                )
+                g.class_by_name.setdefault(stmt.name, []).append(qual)
+                if not nested and class_name is None:
+                    mod.defs[stmt.name] = qual
+                self._collect_defs(
+                    pm, mod, stmt.body, prefix=qual,
+                    class_name=stmt.name if not nested else class_name,
+                    nested=nested,
+                )
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                # Conditional/guarded defs (TYPE_CHECKING, fallbacks).
+                for block in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, block, None)
+                    if inner:
+                        self._collect_defs(pm, mod, inner, prefix,
+                                           class_name, nested)
+                for handler in getattr(stmt, "handlers", ()):
+                    self._collect_defs(pm, mod, handler.body, prefix,
+                                       class_name, nested)
+
+    # -- pass 2: call resolution -------------------------------------------------
+
+    def _resolve_module(self, pm: ParsedModule, mod: ModuleInfo) -> None:
+        module_caller = f"{mod.name}.<module>"
+        scope = _Scope(self.graph, mod, None)
+        self._resolve_body(pm, mod, pm.tree.body, module_caller, scope)
+        for qual, info in list(self.graph.functions.items()):
+            if info.module != pm.rel:
+                continue
+            fscope = _Scope(self.graph, mod, info)
+            node = info.node
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fscope.local_defs[stmt.name] = \
+                        f"{qual}.<locals>.{stmt.name}"
+            self._resolve_body(pm, mod, node.body, qual, fscope)
+
+    def _resolve_body(self, pm: ParsedModule, mod: ModuleInfo,
+                      body: Sequence[ast.stmt], caller: str,
+                      scope: _Scope) -> None:
+        g = self.graph
+        for stmt in iter_stmts(body):
+            # Track local bindings in source order.
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                self._track_binding(stmt.targets[0].id, stmt.value, scope)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name) \
+                    and stmt.value is not None:
+                self._track_binding(stmt.target.id, stmt.value, scope)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        self._track_binding(
+                            item.optional_vars.id, item.context_expr, scope
+                        )
+            for call in stmt_calls(stmt):
+                self._resolve_call(pm, mod, call, caller, scope)
+
+    def _track_binding(self, name: str, value: ast.AST,
+                       scope: _Scope) -> None:
+        targets = self._resolve_callee_expr(
+            value.func, scope) if isinstance(value, ast.Call) else None
+        if isinstance(value, ast.Call) and targets:
+            resolved = targets[0]
+            if resolved in POOL_CONSTRUCTORS:
+                scope.var_types[name] = _POOL_TYPE
+                return
+            if resolved in scope.graph.classes:
+                scope.var_types[name] = resolved
+                return
+            # functools.partial(fn, …) → var behaves like fn.
+            if resolved in ("functools.partial", "partial") and value.args:
+                fn = self._resolve_callee_expr(value.args[0], scope)
+                if fn and fn[0] in scope.graph.functions:
+                    scope.var_funcs[name] = fn[0]
+                return
+        if isinstance(value, (ast.Name, ast.Attribute)):
+            fn = self._resolve_callee_expr(value, scope)
+            if fn and fn[0] in scope.graph.functions:
+                scope.var_funcs[name] = fn[0]
+
+    def _resolve_callee_expr(self, expr: ast.AST,
+                             scope: _Scope) -> List[str]:
+        """Possible targets of calling/using ``expr`` (possibly empty)."""
+        g = scope.graph
+        mod = scope.mod
+        if isinstance(expr, ast.Lambda):
+            return ["<lambda>"]
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in scope.local_defs:
+                return [scope.local_defs[name]]
+            if name in scope.var_funcs:
+                return [scope.var_funcs[name]]
+            if name in scope.var_types and \
+                    scope.var_types[name] != _POOL_TYPE:
+                return [scope.var_types[name]]
+            if name in mod.defs:
+                return [mod.defs[name]]
+            if name in mod.imports:
+                return [g.resolve_dotted(mod.imports[name])]
+            return [name]  # builtin / unknown global
+        if isinstance(expr, ast.Attribute):
+            chain = _attr_chain(expr)
+            if not chain:
+                return []
+            head, rest = chain[0], chain[1:]
+            if head == "self" and scope.class_qual is not None and \
+                    len(rest) == 1:
+                found = g.lookup_method(scope.class_qual, rest[0])
+                if found is not None:
+                    return [found]
+                return self._dynamic(rest[0], g)
+            if head in scope.var_types:
+                vtype = scope.var_types[head]
+                if vtype == _POOL_TYPE:
+                    return []
+                if len(rest) == 1:
+                    found = g.lookup_method(vtype, rest[0])
+                    if found is not None:
+                        return [found]
+                return []
+            if head in mod.imports:
+                dotted = ".".join([mod.imports[head]] + rest)
+                return [g.resolve_dotted(dotted)]
+            if head in mod.defs:
+                target = mod.defs[head]
+                if target in g.classes and len(rest) == 1:
+                    found = g.lookup_method(target, rest[0])
+                    if found is not None:
+                        return [found]
+                return [".".join([target] + rest)]
+            if len(chain) == 2:
+                return self._dynamic(chain[1], g)
+            return [".".join(chain)]
+        return []
+
+    def _dynamic(self, method: str, g: CallGraph) -> List[str]:
+        candidates = g.method_index.get(method, [])
+        if 1 <= len(candidates) <= DYNAMIC_CANDIDATE_CAP:
+            return list(candidates)
+        return []
+
+    def _resolve_call(self, pm: ParsedModule, mod: ModuleInfo,
+                      call: ast.Call, caller: str, scope: _Scope) -> None:
+        g = self.graph
+        targets = self._resolve_callee_expr(call.func, scope)
+        g.resolutions[id(call)] = tuple(targets)
+        kind = "call"
+        if len(targets) > 1:
+            kind = "dynamic"
+        for target in targets:
+            if target in g.functions or target in g.classes:
+                g.add_edge(CallEdge(caller, target, kind, call.lineno,
+                                    pm.rel))
+                # Constructor edge → the class __init__ if present.
+                if target in g.classes:
+                    init = g.lookup_method(target, "__init__")
+                    if init is not None:
+                        g.add_edge(CallEdge(caller, init, kind,
+                                            call.lineno, pm.rel))
+            elif "." in target:
+                g.add_edge(CallEdge(caller, target, "external",
+                                    call.lineno, pm.rel))
+        # functools.partial(fn, …) → partial edge to fn.
+        if targets and targets[0] in ("functools.partial", "partial") \
+                and call.args:
+            fn = self._resolve_callee_expr(call.args[0], scope)
+            if fn and fn[0] in g.functions:
+                g.add_edge(CallEdge(caller, fn[0], "partial",
+                                    call.lineno, pm.rel))
+        # Function references passed as arguments.
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                refs = self._resolve_callee_expr(arg, scope)
+                for ref in refs:
+                    if ref in g.functions:
+                        g.add_edge(CallEdge(caller, ref, "ref",
+                                            call.lineno, pm.rel))
+        self._detect_pool_site(pm, call, caller, scope, targets)
+
+    def _detect_pool_site(self, pm: ParsedModule, call: ast.Call,
+                          caller: str, scope: _Scope,
+                          targets: List[str]) -> None:
+        g = self.graph
+        # Pool construction with initializer=/initargs=.
+        if targets and targets[0] in POOL_CONSTRUCTORS:
+            init_fn = None
+            init_node = None
+            init_args: Tuple[ast.AST, ...] = ()
+            for kw in call.keywords:
+                if kw.arg == "initializer":
+                    init_node = kw.value
+                    resolved = self._resolve_callee_expr(kw.value, scope)
+                    init_fn = resolved[0] if resolved else None
+                elif kw.arg == "initargs":
+                    init_args = tuple(kw.value.elts) if isinstance(
+                        kw.value, (ast.Tuple, ast.List)) else (kw.value,)
+            if init_node is not None:
+                site = PoolSite(
+                    module=pm.rel, caller=caller, lineno=call.lineno,
+                    node=call, kind="init", callee=init_fn,
+                    callee_node=init_node, args=init_args,
+                )
+                g.pool_sites.append(site)
+                if init_fn in g.functions:
+                    g.add_edge(CallEdge(caller, init_fn, "pool",
+                                        call.lineno, pm.rel))
+            return
+        # pool.map / pool.submit on a pool-typed receiver.
+        if isinstance(call.func, ast.Attribute) and \
+                call.func.attr in POOL_SUBMIT_METHODS and \
+                isinstance(call.func.value, ast.Name) and \
+                scope.var_types.get(call.func.value.id) == _POOL_TYPE:
+            callee = None
+            callee_node = call.args[0] if call.args else None
+            if callee_node is not None:
+                resolved = self._resolve_callee_expr(callee_node, scope)
+                callee = resolved[0] if resolved else None
+            site = PoolSite(
+                module=pm.rel, caller=caller, lineno=call.lineno,
+                node=call,
+                kind="submit" if call.func.attr == "submit" else "map",
+                callee=callee, callee_node=callee_node,
+                args=tuple(call.args[1:])
+                + tuple(kw.value for kw in call.keywords
+                        if kw.arg not in ("chunksize", "timeout")),
+            )
+            g.pool_sites.append(site)
+            if callee in g.functions:
+                g.add_edge(CallEdge(caller, callee, "pool",
+                                    call.lineno, pm.rel))
+
+
+def build_callgraph(modules: Sequence[ParsedModule]) -> CallGraph:
+    """Build the whole-corpus call graph from parsed modules."""
+    return _Builder(modules).build()
+
+
+def graph_to_json(graph: CallGraph) -> dict:
+    """Deterministic JSON form of the graph (the ``--graph`` artifact)."""
+    return {
+        "version": 1,
+        "modules": {
+            mod.rel: {
+                "name": mod.name,
+                "imports": dict(sorted(mod.imports.items())),
+            }
+            for mod in sorted(graph.modules.values(), key=lambda m: m.rel)
+        },
+        "functions": {
+            qual: {
+                "module": info.module,
+                "line": info.lineno,
+                "class": info.class_name,
+                "nested": info.nested,
+            }
+            for qual, info in sorted(graph.functions.items())
+        },
+        "edges": [
+            {"caller": e.caller, "callee": e.callee, "kind": e.kind,
+             "line": e.lineno, "module": e.module}
+            for e in sorted(
+                graph.edges,
+                key=lambda e: (e.module, e.lineno, e.caller, e.callee,
+                               e.kind),
+            )
+        ],
+        "pool_sites": [
+            {"module": s.module, "caller": s.caller, "line": s.lineno,
+             "kind": s.kind, "callee": s.callee}
+            for s in sorted(
+                graph.pool_sites,
+                key=lambda s: (s.module, s.lineno, s.kind),
+            )
+        ],
+    }

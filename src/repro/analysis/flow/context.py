@@ -1,0 +1,57 @@
+"""Shared per-run flow context.
+
+Building the call graph and running the taint fixpoint is the expensive
+part of a ``--flow`` run, and four rule families need the same result.
+``Analyzer.run`` hands every project rule one shared dict per run;
+:meth:`FlowContext.for_modules` memoizes the graph + engine in it, keyed
+by the analyzed module set, so the corpus is parsed into a graph exactly
+once no matter how many flow rules are enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..engine import ParsedModule
+from .callgraph import CallGraph, build_callgraph
+from .taint import TaintEngine
+
+_KEY = "flow-context"
+
+
+class FlowContext:
+    """Call graph + taint engine for one analyzed corpus."""
+
+    def __init__(self, modules: Sequence[ParsedModule]) -> None:
+        self.modules = tuple(
+            m for m in modules if m.rel.endswith(".py")
+        )
+        self.graph: CallGraph = build_callgraph(self.modules)
+        self.taint: TaintEngine = TaintEngine(self.graph, self.modules)
+        self._purity = None  # lazily built by purity rules/exporters
+
+    @classmethod
+    def for_modules(cls, shared: Optional[Dict[str, object]],
+                    modules: Sequence[ParsedModule]) -> "FlowContext":
+        """The run-wide context, built at most once per module set."""
+        key = tuple(sorted(m.rel for m in modules))
+        if shared is None:
+            return cls(modules)
+        cached = shared.get(_KEY)
+        if isinstance(cached, cls) and cached.key == key:
+            return cached
+        ctx = cls(modules)
+        shared[_KEY] = ctx
+        return ctx
+
+    @property
+    def key(self):
+        return tuple(sorted(m.rel for m in self.modules))
+
+    @property
+    def purity(self):
+        """Purity report, built on first use (import-cycle-free)."""
+        if self._purity is None:
+            from .purity import infer_purity
+            self._purity = infer_purity(self)
+        return self._purity

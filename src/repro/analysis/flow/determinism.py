@@ -1,0 +1,236 @@
+"""Interprocedural determinism rules (DET010-DET013).
+
+All four are opt-in :class:`~repro.analysis.engine.ProjectRule` s
+(``repro lint --flow``) sharing one :class:`FlowContext` per run:
+
+* **DET010** — an unseeded Generator construction in a function from
+  which the simulation hot path is reachable (or whose return value
+  carries the unseeded generator out to callers).
+* **DET011** — an RNG-derived value crossing a process-pool boundary
+  (``pool.map``/``submit`` arguments, ``initargs``): each worker must
+  construct its own generator from a derived seed, never receive one.
+* **DET012** — flow-accurate wall-clock tracking: any call that yields
+  a calendar timestamp (directly, or laundered through corpus helpers)
+  outside the audited symbol set
+  (:data:`~repro.analysis.flow.taint.WALLCLOCK_AUDITED`).
+* **DET013** — iteration over a set-ordered value (no dominating
+  ``sorted()``) in a function that reaches a serialization sink, where
+  interpreter hash ordering would leak into committed artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from ..engine import ParsedModule, ProjectRule, register
+from ..findings import Finding, Severity
+from .callgraph import iter_stmts, stmt_calls
+from .context import FlowContext
+from .taint import RNG, SET_ORDER, UNSEEDED, WALLCLOCK_AUDITED
+
+#: Function names that anchor the simulation hot path (DET010 sinks),
+#: plus any ``*.Simulator.run`` method.
+SIMULATION_SINK_NAMES = frozenset({"run_cell_trace", "execute_cell"})
+
+#: Post-resolution callee names that serialize a value (DET013 sinks).
+SERIALIZER_CALLS = frozenset({
+    "json.dump", "json.dumps", "pickle.dump", "pickle.dumps",
+    "csv.writer", "csv.DictWriter",
+})
+
+#: Method names that write artifacts (``Path.write_text`` idiom).
+SERIALIZER_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+class _FlowRule(ProjectRule):
+    """Base for flow rules: opt-in, src-scoped, shared-context aware."""
+
+    opt_in = True
+    scopes = ("src",)
+
+    def context(self, modules: Sequence[ParsedModule]) -> FlowContext:
+        return FlowContext.for_modules(getattr(self, "shared", None),
+                                       modules)
+
+    def flow_finding(self, ctx: FlowContext, module_rel: str,
+                     node: ast.AST, message: str,
+                     rule_id: str = "") -> Finding:
+        pm = None
+        for m in ctx.modules:
+            if m.rel == module_rel:
+                pm = m
+                break
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=rule_id or self.id,
+            path=module_rel,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+            context=pm.line_text(line) if pm is not None else "",
+        )
+
+
+def simulation_sinks(ctx: FlowContext) -> List[str]:
+    """Corpus functions anchoring the simulation hot path."""
+    return sorted(
+        qual for qual, info in ctx.graph.functions.items()
+        if info.name in SIMULATION_SINK_NAMES
+        or qual.endswith("Simulator.run")
+    )
+
+
+@register
+class UnseededRngReachesSimulation(_FlowRule):
+    id = "DET010"
+    name = "unseeded-rng-reaches-simulation"
+    description = (
+        "Generator constructed without a derived seed in a function "
+        "from which the simulation hot path is reachable"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        sinks = simulation_sinks(ctx)
+        reach = ctx.graph.reaches(sinks) if sinks else set()
+        for analysis in ctx.taint.analyses():
+            info = ctx.graph.functions.get(analysis.qual)
+            if info is None:
+                continue
+            escapes = UNSEEDED in ctx.taint.summary(analysis.qual).returns
+            on_path = analysis.qual in reach
+            if not (escapes or on_path) or not analysis.rng_sites:
+                continue
+            for site in analysis.rng_sites:
+                if site.seeded:
+                    continue
+                how = "reaches the simulation hot path" if on_path \
+                    else "escapes through the return value"
+                yield self.flow_finding(
+                    ctx, info.module, site.node,
+                    f"unseeded random Generator constructed in "
+                    f"{analysis.qual} {how}; derive the seed from "
+                    f"derive_cell_seed() or an explicit seed parameter",
+                )
+
+
+@register
+class RngCrossesPoolBoundary(_FlowRule):
+    id = "DET011"
+    name = "shared-rng-crosses-pool-boundary"
+    description = (
+        "RNG-derived value shipped across a process-pool boundary"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        for site in ctx.graph.pool_sites:
+            analysis = ctx.taint.analysis(site.caller)
+            if analysis is None:
+                continue
+            for arg in site.args:
+                taint = ctx.taint.expr_taint(arg, analysis)
+                if RNG in taint:
+                    where = "initargs" if site.kind == "init" else \
+                        f"pool.{site.kind} arguments"
+                    yield self.flow_finding(
+                        ctx, site.module, arg,
+                        f"random Generator state crosses the process-"
+                        f"pool boundary via {where} in {site.caller}; "
+                        f"ship a seed and construct the generator in "
+                        f"the worker instead",
+                    )
+
+
+@register
+class WallClockFlow(_FlowRule):
+    id = "DET012"
+    name = "wall-clock-flow"
+    description = (
+        "calendar-clock value obtained outside the audited symbol set "
+        "(flow-accurate; catches reads laundered through helpers)"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        for analysis in ctx.taint.analyses():
+            if analysis.qual in WALLCLOCK_AUDITED:
+                continue
+            info = ctx.graph.functions.get(analysis.qual)
+            if info is None:
+                continue
+            for call in analysis.wallclock_calls:
+                yield self.flow_finding(
+                    ctx, info.module, call,
+                    f"direct wall-clock read in {analysis.qual}; only "
+                    f"WallClock.wall_time may read the calendar clock",
+                )
+            for call, sources in analysis.tainted_source_calls:
+                pretty = ", ".join(sources)
+                yield self.flow_finding(
+                    ctx, info.module, call,
+                    f"wall-clock value reaches {analysis.qual} through "
+                    f"{pretty}; route timestamps through the audited "
+                    f"obs symbols (WallClock.wall_time, Tracer.header, "
+                    f"ledger.make_entry)",
+                )
+
+
+def _serializer_functions(ctx: FlowContext) -> Set[str]:
+    """Corpus functions that directly serialize a value."""
+    out: Set[str] = set()
+    for qual, info in ctx.graph.functions.items():
+        body = getattr(info.node, "body", [])
+        for stmt in iter_stmts(body):
+            for call in stmt_calls(stmt):
+                targets = ctx.graph.resolutions.get(id(call), ())
+                if any(t in SERIALIZER_CALLS for t in targets):
+                    out.add(qual)
+                if isinstance(call.func, ast.Attribute) and \
+                        call.func.attr in SERIALIZER_METHODS:
+                    out.add(qual)
+    return out
+
+
+@register
+class UnsortedSetIterationSerialized(_FlowRule):
+    id = "DET013"
+    name = "unsorted-set-iteration-reaches-artifact"
+    description = (
+        "iteration over a set-ordered value, without a dominating "
+        "sorted(), in a function that reaches a serialization sink"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        serializers = _serializer_functions(ctx)
+        reach = ctx.graph.reaches(sorted(serializers)) if serializers \
+            else set()
+        for analysis in ctx.taint.analyses():
+            if analysis.qual not in reach:
+                continue
+            info = ctx.graph.functions.get(analysis.qual)
+            if info is None:
+                continue
+            sites: List[Tuple[ast.AST, frozenset]] = []
+            sites.extend(analysis.for_sites)
+            sites.extend(analysis.comp_sites)
+            for node, taint in sites:
+                if SET_ORDER not in taint:
+                    continue
+                yield self.flow_finding(
+                    ctx, info.module, node,
+                    f"iteration order of a set leaks toward a "
+                    f"serialized artifact in {analysis.qual}; wrap the "
+                    f"iterable in sorted()",
+                )

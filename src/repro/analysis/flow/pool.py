@@ -1,0 +1,123 @@
+"""Process-pool safety lints (POOL001/POOL002).
+
+The parallel harness's determinism depends on what crosses the fork
+boundary: the submitted callable must be importable by qualified name
+(pickle protocol), and the shipped arguments must not smuggle mutable
+cross-cell state (the runtime guard in ``evaluate/parallel.py`` rejects
+banks with ``reset()`` at run time; POOL002 mirrors it statically).
+
+* **POOL001** — the callable handed to ``pool.map``/``submit`` or
+  ``initializer=`` must be a module-level function: lambdas, nested
+  functions, and bound methods fail pickling (or worse, pickle a whole
+  object graph).  Unresolvable callees are skipped — the lint is
+  best-effort, not a soundness proof.
+* **POOL002** — a STATEFUL-tainted value (instance of a corpus class
+  that defines ``reset()``) appears in the shipped arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from ..engine import ParsedModule, ProjectRule, register
+from ..findings import Finding, Severity
+from .context import FlowContext
+from .taint import STATEFUL
+
+
+class _PoolRule(ProjectRule):
+    opt_in = True
+    scopes = ("src",)
+
+    def context(self, modules: Sequence[ParsedModule]) -> FlowContext:
+        return FlowContext.for_modules(getattr(self, "shared", None),
+                                       modules)
+
+    def site_finding(self, ctx: FlowContext, module_rel: str,
+                     node: ast.AST, message: str) -> Finding:
+        pm = next((m for m in ctx.modules if m.rel == module_rel), None)
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.id,
+            path=module_rel,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=self.severity,
+            context=pm.line_text(line) if pm is not None else "",
+        )
+
+
+@register
+class PoolCallablePicklable(_PoolRule):
+    id = "POOL001"
+    name = "pool-callable-pickle-reachable"
+    description = (
+        "callable submitted to a process pool must be a module-level "
+        "function (pickle-reachable by qualified name)"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        for site in ctx.graph.pool_sites:
+            node = site.callee_node
+            if node is None:
+                continue
+            role = "initializer" if site.kind == "init" else \
+                f"pool.{site.kind} target"
+            if isinstance(node, ast.Lambda) or site.callee == "<lambda>":
+                yield self.site_finding(
+                    ctx, site.module, node,
+                    f"lambda used as {role} in {site.caller}; lambdas "
+                    f"cannot be pickled — use a module-level function",
+                )
+                continue
+            if site.callee is None:
+                continue
+            info = ctx.graph.functions.get(site.callee)
+            if info is None:
+                continue
+            if not info.is_module_level:
+                why = "a nested function" if info.nested \
+                    else "a method"
+                yield self.site_finding(
+                    ctx, site.module, node,
+                    f"{site.callee} used as {role} in {site.caller} "
+                    f"is {why}; workers can only import module-level "
+                    f"functions",
+                )
+
+
+@register
+class PoolArgsStateless(_PoolRule):
+    id = "POOL002"
+    name = "pool-args-carry-no-stateful-bank"
+    description = (
+        "stateful object (corpus class defining reset()) shipped "
+        "across the process-pool boundary"
+    )
+    severity = Severity.ERROR
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = self.context(modules)
+        for site in ctx.graph.pool_sites:
+            analysis = ctx.taint.analysis(site.caller)
+            if analysis is None:
+                continue
+            where = "initargs" if site.kind == "init" else \
+                f"pool.{site.kind} arguments"
+            for arg in site.args:
+                taint = ctx.taint.expr_taint(arg, analysis)
+                if STATEFUL in taint:
+                    yield self.site_finding(
+                        ctx, site.module, arg,
+                        f"stateful object (class with reset()) "
+                        f"crosses the pool boundary via {where} in "
+                        f"{site.caller}; per-worker state diverges "
+                        f"across worker counts — ship constructor "
+                        f"arguments instead",
+                    )

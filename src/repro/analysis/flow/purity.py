@@ -1,0 +1,409 @@
+"""Purity / side-effect inference and the PURE001 hot-path gate.
+
+Every corpus function is classified on a four-point lattice::
+
+    pure < reads-state < mutates-state < io
+
+* **pure** — no observable effect; safe to batch/vectorize.
+* **reads-state** — reads ambient state (monotonic timers, environment,
+  cpu counts) but writes nothing.
+* **mutates-state** — writes attributes of ``self`` or a parameter
+  (local object mutation stays below this: building and mutating your
+  own locals is pure from the caller's viewpoint).
+* **io** — filesystem/process/environment writes, printing, or global
+  (module-level) mutation.
+
+``direct`` is what the function body does itself; ``transitive`` folds
+in the maximum of everything reachable through the call graph, with an
+externals policy: obs tracing hooks are treated as *obs-gated* (exempt
+— the tracer is the audited observability channel), numpy/stdlib
+compute is pure, monotonic clocks are reads-state.
+
+**PURE001**: no function in the ``Simulator.run`` call-graph closure
+may carry IO or global-mutation evidence.  This is the machine-checked
+precondition for the ROADMAP DES-hot-path vectorization: a kernel can
+only be batched if running it N times has no effect beyond its return
+values.  The committed ``analysis-purity.json`` artifact (see
+:func:`purity_to_json`) records the classification for ``runtime/`` and
+``evaluate/`` plus the hot-path closure verdict.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence
+
+from ..engine import ParsedModule, ProjectRule, register
+from ..findings import Finding, Severity
+from .callgraph import iter_stmts, stmt_calls, walk_expr
+from .context import FlowContext
+
+PURE = "pure"
+READS = "reads-state"
+MUTATES = "mutates-state"
+IO = "io"
+
+_RANK = {PURE: 0, READS: 1, MUTATES: 2, IO: 3}
+
+#: The hot-path root whose closure PURE001 gates.
+HOT_PATH_ROOT = "repro.runtime.simulator.Simulator.run"
+
+#: External callables that are IO no matter the receiver.
+IO_CALLS = frozenset({
+    "open", "print", "input",
+    "os.system", "os.remove", "os.unlink", "os.rename", "os.makedirs",
+    "os.mkdir", "os.rmdir", "shutil.rmtree", "shutil.copy",
+    "shutil.copyfile", "shutil.move",
+    "subprocess.run", "subprocess.Popen", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.call",
+})
+
+#: Dotted prefixes that are IO.
+IO_PREFIXES = ("subprocess.", "shutil.", "socket.", "urllib.",
+               "http.", "requests.")
+
+#: Method names that write artifacts / filesystem state.
+IO_METHODS = frozenset({
+    "write", "writelines", "write_text", "write_bytes", "mkdir",
+    "unlink", "touch", "rmdir", "rename", "flush", "save", "savez",
+    "to_csv", "dump",
+})
+
+#: External callables that read ambient state.
+READS_CALLS = frozenset({
+    "time.perf_counter", "time.perf_counter_ns", "time.monotonic",
+    "time.monotonic_ns", "time.process_time", "time.time",
+    "time.time_ns", "os.cpu_count", "os.getpid", "os.urandom",
+    "os.getenv", "os.environ.get",
+    "datetime.now", "datetime.utcnow", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today", "date.today",
+})
+
+#: Obs tracing hooks: the audited observability channel.  Calling the
+#: tracer is *not* held against a hot-path function — traces are gated
+#: off in measured runs and the tracer itself owns its determinism
+#: contract (repro.obs tests).
+OBS_GATED_PREFIXES = ("repro.obs.",)
+
+
+@dataclass
+class FunctionPurity:
+    """Classification + evidence for one corpus function."""
+
+    qual: str
+    module: str
+    direct: str = PURE
+    transitive: str = PURE
+    io: List[str] = field(default_factory=list)
+    global_mutation: List[str] = field(default_factory=list)
+    reads: List[str] = field(default_factory=list)
+    mutates: List[str] = field(default_factory=list)
+    #: Corpus callees that raised the transitive classification.
+    via: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PurityReport:
+    """Whole-corpus purity inference result."""
+
+    functions: Dict[str, FunctionPurity] = field(default_factory=dict)
+    hot_path_root: str = HOT_PATH_ROOT
+    hot_path_closure: List[str] = field(default_factory=list)
+
+    def hot_path_violations(self) -> List[FunctionPurity]:
+        """Closure members with *direct* IO or global-mutation evidence.
+
+        Propagated ``via callee:`` evidence is not re-flagged: the
+        direct offender is itself in the closure, and one finding per
+        root cause beats one per transitive caller.
+        """
+        out = []
+        for qual in self.hot_path_closure:
+            fp = self.functions.get(qual)
+            if fp is None:
+                continue
+            direct = [e for e in fp.io + fp.global_mutation
+                      if not e.startswith("via ")]
+            if direct:
+                out.append(fp)
+        return out
+
+    @property
+    def hot_path_clean(self) -> bool:
+        return not self.hot_path_violations()
+
+
+def _raise_to(fp: FunctionPurity, level: str) -> None:
+    if _RANK[level] > _RANK[fp.direct]:
+        fp.direct = level
+
+
+def _describe(node: ast.AST, what: str) -> str:
+    return f"{what} at line {getattr(node, 'lineno', '?')}"
+
+
+def _classify_direct(ctx: FlowContext, qual: str) -> FunctionPurity:
+    graph = ctx.graph
+    info = graph.functions[qual]
+    mod = graph.modules.get(info.module)
+    module_globals = mod.module_globals if mod is not None else set()
+    fp = FunctionPurity(qual=qual, module=info.module)
+    params = set(info.params)
+    body = getattr(info.node, "body", [])
+
+    for stmt in iter_stmts(body):
+        # global-statement assignment → global mutation (IO level).
+        if isinstance(stmt, ast.Global):
+            fp.global_mutation.append(
+                _describe(stmt, f"global {', '.join(stmt.names)}")
+            )
+            _raise_to(fp, IO)
+        # Stores: module-global subscript/attribute, self/param attrs.
+        targets: List[ast.AST] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Delete):
+            targets = list(stmt.targets)
+        for target in targets:
+            base = target
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if not isinstance(base, ast.Name) or base is target:
+                continue
+            if base.id in module_globals:
+                fp.global_mutation.append(
+                    _describe(target, f"store into module global "
+                                      f"{base.id!r}")
+                )
+                _raise_to(fp, IO)
+            elif base.id == "self" or base.id in params:
+                fp.mutates.append(
+                    _describe(target, f"store into {base.id!r}")
+                )
+                _raise_to(fp, MUTATES)
+        # Calls: IO / reads-state externals.
+        for call in stmt_calls(stmt):
+            resolved = graph.resolutions.get(id(call), ())
+            for target_name in resolved:
+                if target_name in IO_CALLS or \
+                        target_name.startswith(IO_PREFIXES):
+                    fp.io.append(_describe(call, f"call to "
+                                                 f"{target_name}"))
+                    _raise_to(fp, IO)
+                elif target_name in READS_CALLS:
+                    fp.reads.append(_describe(call, f"call to "
+                                                    f"{target_name}"))
+                    _raise_to(fp, READS)
+            if isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in IO_METHODS:
+                receiver = call.func.value
+                # Mutating a local container (`out.write` on a local
+                # StringIO, `d.update`) is fine; flag only when the
+                # receiver is a parameter, self-attr, module global, or
+                # a dotted external (Path(...).write_text chains).
+                base = receiver
+                while isinstance(base, (ast.Subscript, ast.Attribute,
+                                        ast.Call)):
+                    base = getattr(base, "value", None) or \
+                        getattr(base, "func", None)
+                    if base is None:
+                        break
+                if isinstance(base, ast.Name) and (
+                        base.id == "self" or base.id in params
+                        or base.id in module_globals):
+                    if call.func.attr in ("write_text", "write_bytes",
+                                          "mkdir", "unlink", "touch",
+                                          "save", "to_csv"):
+                        fp.io.append(_describe(
+                            call, f".{call.func.attr}() on "
+                                  f"{base.id!r}"))
+                        _raise_to(fp, IO)
+                elif not isinstance(base, ast.Name) and \
+                        call.func.attr in ("write_text", "write_bytes",
+                                           "mkdir", "unlink", "touch"):
+                    fp.io.append(_describe(
+                        call, f".{call.func.attr}() call"))
+                    _raise_to(fp, IO)
+        # os.environ writes.
+        for node in walk_expr(stmt):
+            if isinstance(node, ast.Subscript) and \
+                    isinstance(node.ctx, (ast.Store, ast.Del)):
+                chain = []
+                base = node.value
+                while isinstance(base, ast.Attribute):
+                    chain.append(base.attr)
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    chain.append(base.id)
+                if list(reversed(chain)) == ["os", "environ"]:
+                    fp.io.append(_describe(node, "os.environ write"))
+                    _raise_to(fp, IO)
+    return fp
+
+
+def infer_purity(ctx: FlowContext) -> PurityReport:
+    """Classify every corpus function, direct + transitive."""
+    graph = ctx.graph
+    report = PurityReport()
+    for qual in sorted(graph.functions):
+        report.functions[qual] = _classify_direct(ctx, qual)
+
+    # Transitive: fold the callee maximum in, to fixpoint.  Obs-gated
+    # and unknown externals do not raise the level (policy above).
+    for fp in report.functions.values():
+        fp.transitive = fp.direct
+    changed = True
+    guard = 0
+    while changed and guard < 50:
+        changed = False
+        guard += 1
+        for qual, fp in report.functions.items():
+            for callee in sorted(graph.successors(qual)):
+                target = report.functions.get(callee)
+                if target is None:
+                    continue
+                if callee.startswith(OBS_GATED_PREFIXES) and \
+                        not qual.startswith(OBS_GATED_PREFIXES):
+                    continue
+                # Callee self-mutation is local to the callee's
+                # receiver; only reads/io/global-mutation travel.
+                level = target.transitive
+                if level == MUTATES:
+                    level = READS
+                if _RANK[level] > _RANK[fp.transitive]:
+                    fp.transitive = level
+                    if callee not in fp.via:
+                        fp.via.append(callee)
+                    changed = True
+                if (target.io or target.global_mutation) and \
+                        not (callee.startswith(OBS_GATED_PREFIXES)
+                             and not qual.startswith(
+                                 OBS_GATED_PREFIXES)):
+                    for ev in target.io:
+                        tag = f"via {callee}: {ev}"
+                        if tag not in fp.io:
+                            fp.io.append(tag)
+                            changed = True
+                    for ev in target.global_mutation:
+                        tag = f"via {callee}: {ev}"
+                        if tag not in fp.global_mutation:
+                            fp.global_mutation.append(tag)
+                            changed = True
+
+    if HOT_PATH_ROOT in graph.functions:
+        report.hot_path_closure = _hot_path_closure(graph)
+    return report
+
+
+def _hot_path_closure(graph) -> List[str]:
+    """Corpus functions reachable from the hot-path root.
+
+    Precision matters here: edges whose only evidence is a
+    multi-candidate duck-typed method match ("dynamic") are skipped —
+    one stray ``x.write(...)`` must not drag every ``write`` method in
+    the corpus onto the hot path — and traversal stops at the obs
+    boundary (the tracer is the audited, gated observability channel,
+    not part of the kernel).
+    """
+    seen = set()
+    stack = [HOT_PATH_ROOT]
+    while stack:
+        cur = stack.pop()
+        if cur in seen:
+            continue
+        seen.add(cur)
+        for callee in graph.successors(cur):
+            kinds = graph.edge_kinds.get((cur, callee), set())
+            if kinds and kinds <= {"dynamic"}:
+                continue
+            if callee.startswith(OBS_GATED_PREFIXES):
+                continue
+            if callee in graph.functions:
+                stack.append(callee)
+    return sorted(q for q in seen if q in graph.functions)
+
+
+def purity_to_json(report: PurityReport,
+                   scopes: Sequence[str] = ("src/repro/runtime/",
+                                            "src/repro/evaluate/"),
+                   ) -> dict:
+    """Deterministic JSON artifact (``analysis-purity.json``)."""
+    functions = {}
+    for qual in sorted(report.functions):
+        fp = report.functions[qual]
+        if not any(fp.module.startswith(s) for s in scopes):
+            continue
+        functions[qual] = {
+            "module": fp.module,
+            "direct": fp.direct,
+            "transitive": fp.transitive,
+            "evidence": {
+                "io": sorted(fp.io),
+                "global_mutation": sorted(fp.global_mutation),
+                "reads": sorted(fp.reads),
+                "mutates": sorted(fp.mutates),
+            },
+        }
+    violations = sorted(
+        fp.qual for fp in report.hot_path_violations()
+    )
+    return {
+        "version": 1,
+        "lattice": [PURE, READS, MUTATES, IO],
+        "scopes": list(scopes),
+        "functions": functions,
+        "hot_path": {
+            "root": report.hot_path_root,
+            "closure": report.hot_path_closure,
+            "clean": report.hot_path_clean,
+            "violations": violations,
+        },
+    }
+
+
+@register
+class HotPathPurity(ProjectRule):
+    """PURE001: the simulator hot path may not gain IO or global
+    mutation — the precondition for batching/vectorizing DES kernels.
+    """
+
+    id = "PURE001"
+    name = "hot-path-purity"
+    description = (
+        "function in the Simulator.run call-graph closure carries IO "
+        "or global-mutation evidence"
+    )
+    severity = Severity.ERROR
+    opt_in = True
+    scopes = ("src",)
+
+    def check_project(self, modules: Sequence[ParsedModule]
+                      ) -> Iterator[Finding]:
+        ctx = FlowContext.for_modules(getattr(self, "shared", None),
+                                      modules)
+        report = ctx.purity
+        by_rel = {m.rel: m for m in ctx.modules}
+        for fp in report.hot_path_violations():
+            info = ctx.graph.functions.get(fp.qual)
+            if info is None:
+                continue
+            pm = by_rel.get(fp.module)
+            evidence = "; ".join((fp.io + fp.global_mutation)[:3])
+            line = info.lineno
+            yield Finding(
+                rule=self.id,
+                path=fp.module,
+                line=line,
+                col=getattr(info.node, "col_offset", 0),
+                message=(
+                    f"{fp.qual} is on the simulator hot path but "
+                    f"carries side effects ({evidence}); hot-path "
+                    f"kernels must stay free of IO and global "
+                    f"mutation for vectorization"
+                ),
+                severity=self.severity,
+                context=pm.line_text(line) if pm is not None else "",
+            )

@@ -1,0 +1,464 @@
+"""Source/sink/sanitizer taint propagation over the call graph.
+
+Four taint kinds ride one engine:
+
+* ``RNG`` — value derived from a random Generator construction
+  (``np.random.default_rng``, ``random.Random``); ``UNSEEDED``
+  additionally marks constructions whose seed is *not* derived from a
+  seed-ish source (an explicit ``seed`` parameter/attribute, a
+  constant, ``derive_cell_seed``, or a ``SeedSequence``).
+* ``WALLCLOCK`` — value derived from a calendar read (``time.time``,
+  ``datetime.now`` …).  Sanitizer: none — the audited symbol set of
+  the DET012 rule is the only legal resting place.
+* ``SET_ORDER`` — value whose iteration order is interpreter-dependent
+  (set literals/comprehensions, ``set()``; ``list()``/``tuple()`` of a
+  tainted value keep the taint).  Sanitizer: ``sorted()``.
+* ``STATEFUL`` — instance of a corpus class that defines ``reset()``
+  (the static mirror of the runtime stateful-bank pool guard).
+
+Summaries are interprocedural: a fixpoint pass computes, per corpus
+function, the taints its return value carries plus which parameters
+flow through to the return, so a wall-clock read laundered through
+three helper frames still surfaces at the outermost call site.
+The engine is flow-insensitive within statements but processes
+statements in source order, so ``xs = sorted(xs)`` sanitizes and
+re-binding clears stale taints.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..engine import ParsedModule
+from .callgraph import CallGraph, iter_stmts, walk_expr
+
+RNG = "rng"
+UNSEEDED = "unseeded-rng"
+WALLCLOCK = "wallclock"
+SET_ORDER = "set-order"
+STATEFUL = "stateful"
+
+#: External callables producing wall-clock taint (post-resolution names).
+WALLCLOCK_SOURCES = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "date.today",
+})
+
+#: External callables constructing a random Generator.
+RNG_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "random.Random",
+})
+
+#: Audited wall-clock symbols.  ``WallClock.wall_time`` is the single
+#: blessed calendar read; ``Tracer.header`` and ``ledger.make_entry``
+#: are its two reviewed consumers (they stamp exported artifacts).
+#: Their summaries *sanitize* WALLCLOCK, so callers of e.g.
+#: ``make_entry`` are not transitively flagged — the taint stops at the
+#: audited boundary.
+WALLCLOCK_AUDITED = frozenset({
+    "repro.obs.clock.WallClock.wall_time",
+    "repro.obs.trace.Tracer.header",
+    "repro.obs.ledger.make_entry",
+})
+
+#: Callables whose result does not depend on argument iteration order;
+#: comprehensions directly inside their arguments are exempt from
+#: DET013 site recording (``sorted({...})`` is the sanctioned idiom).
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all",
+    "set", "frozenset",
+})
+
+#: Fixpoint iteration cap (summaries converge in 2-3 passes here).
+MAX_PASSES = 8
+
+Taints = FrozenSet[str]
+EMPTY: Taints = frozenset()
+
+
+def _param_marker(index: int) -> str:
+    return f"param:{index}"
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a call to this function gives back."""
+
+    returns: Taints = EMPTY
+    passthrough: FrozenSet[int] = frozenset()
+
+
+@dataclass
+class RngSite:
+    """One Generator construction."""
+
+    node: ast.Call
+    seeded: bool
+    function: str
+
+
+@dataclass
+class FunctionAnalysis:
+    """Per-function taint facts the rules consume."""
+
+    qual: str
+    env: Dict[str, Taints] = field(default_factory=dict)
+    call_taints: Dict[int, Taints] = field(default_factory=dict)
+    rng_sites: List[RngSite] = field(default_factory=list)
+    wallclock_calls: List[ast.Call] = field(default_factory=list)
+    tainted_source_calls: List[Tuple[ast.Call, Tuple[str, ...]]] = \
+        field(default_factory=list)
+    for_sites: List[Tuple[ast.For, Taints]] = field(default_factory=list)
+    comp_sites: List[Tuple[ast.AST, Taints]] = field(default_factory=list)
+    returns: Taints = EMPTY
+
+
+def seed_derived(expr_args: Sequence[ast.AST],
+                 seedlike: Set[str]) -> bool:
+    """Whether a Generator construction's arguments are seed-derived.
+
+    Syntactic: the argument expression must mention a seed-ish source —
+    a name/attribute containing ``seed`` or ``entropy``, a name in
+    ``seedlike`` (assigned from a seed-ish expression upstream), a
+    ``SeedSequence``/``derive_cell_seed`` call — or consist entirely of
+    constants.  No arguments at all is never seed-derived.
+    """
+    if not expr_args:
+        return False
+    constant_only = True
+    for arg in expr_args:
+        for node in walk_expr(arg):
+            if isinstance(node, ast.Name):
+                low = node.id.lower()
+                if "seed" in low or "entropy" in low or \
+                        node.id in seedlike:
+                    return True
+                constant_only = False
+            elif isinstance(node, ast.Attribute):
+                if "seed" in node.attr.lower() or \
+                        "entropy" in node.attr.lower():
+                    return True
+            elif not isinstance(node, (ast.Constant, ast.Tuple, ast.List,
+                                       ast.Load, ast.UnaryOp, ast.BinOp,
+                                       ast.USub, ast.UAdd, ast.Add,
+                                       ast.Mult, ast.expr_context)):
+                if not isinstance(node, ast.operator):
+                    constant_only = False
+    return constant_only
+
+
+class TaintEngine:
+    """Computes summaries and per-function analyses for one corpus."""
+
+    def __init__(self, graph: CallGraph,
+                 modules: Sequence[ParsedModule]) -> None:
+        self.graph = graph
+        self.modules = {m.rel: m for m in modules}
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.module_env: Dict[str, Dict[str, Taints]] = {}
+        self._analyses: Dict[str, FunctionAnalysis] = {}
+        self._stateful_classes = frozenset(
+            qual for qual, cls in graph.classes.items()
+            if "reset" in cls.methods
+        )
+        self._fixpoint()
+
+    # -- public ------------------------------------------------------------------
+
+    def analysis(self, qual: str) -> Optional[FunctionAnalysis]:
+        """The cached analysis of one corpus function."""
+        return self._analyses.get(qual)
+
+    def analyses(self) -> List[FunctionAnalysis]:
+        return [self._analyses[q] for q in sorted(self._analyses)]
+
+    def summary(self, qual: str) -> FunctionSummary:
+        return self.summaries.get(qual, FunctionSummary())
+
+    def expr_taint(self, expr: ast.AST,
+                   analysis: FunctionAnalysis) -> Taints:
+        """Taint of ``expr`` against a function's final environment."""
+        info = self.graph.functions.get(analysis.qual)
+        seedlike: Set[str] = set()
+        return self._eval(expr, analysis.env, seedlike,
+                          record=None,
+                          module_rel=info.module if info else "")
+
+    # -- fixpoint ----------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        quals = sorted(self.graph.functions)
+        module_rels = sorted(self.modules)
+        for _ in range(MAX_PASSES):
+            changed = False
+            # Module-level code first: its bindings seed function envs.
+            for rel in module_rels:
+                env = self._eval_module(rel)
+                if env != self.module_env.get(rel):
+                    self.module_env[rel] = env
+                    changed = True
+            for qual in quals:
+                analysis = self._eval_function(qual)
+                marker_free = frozenset(
+                    t for t in analysis.returns if not t.startswith("param:")
+                )
+                if qual in WALLCLOCK_AUDITED:
+                    marker_free = marker_free - {WALLCLOCK}
+                passthrough = frozenset(
+                    int(t.split(":", 1)[1]) for t in analysis.returns
+                    if t.startswith("param:")
+                )
+                new = FunctionSummary(marker_free, passthrough)
+                if new != self.summaries.get(qual):
+                    self.summaries[qual] = new
+                    changed = True
+                self._analyses[qual] = analysis
+            if not changed:
+                break
+
+    def _eval_module(self, rel: str) -> Dict[str, Taints]:
+        pm = self.modules[rel]
+        env: Dict[str, Taints] = {}
+        seedlike: Set[str] = set()
+        for stmt in iter_stmts(pm.tree.body):
+            self._eval_stmt(stmt, env, seedlike, record=None,
+                            module_rel=rel)
+        return env
+
+    def _eval_function(self, qual: str) -> FunctionAnalysis:
+        info = self.graph.functions[qual]
+        analysis = FunctionAnalysis(qual=qual)
+        env = dict(self.module_env.get(info.module, {}))
+        seedlike: Set[str] = set()
+        node = info.node
+        for i, param in enumerate(info.params):
+            env[param] = frozenset({_param_marker(i)})
+            low = param.lower()
+            if "seed" in low or "entropy" in low or low == "rep":
+                seedlike.add(param)
+        returns: Set[str] = set()
+        body = getattr(node, "body", [])
+        for stmt in iter_stmts(body):
+            taint = self._eval_stmt(stmt, env, seedlike, record=analysis,
+                                    module_rel=info.module)
+            if isinstance(stmt, ast.Return) and taint is not None:
+                returns |= taint
+        analysis.env = env
+        analysis.returns = frozenset(returns)
+        return analysis
+
+    # -- statement / expression evaluation ----------------------------------------
+
+    def _eval_stmt(self, stmt: ast.stmt, env: Dict[str, Taints],
+                   seedlike: Set[str],
+                   record: Optional[FunctionAnalysis],
+                   module_rel: str) -> Optional[Taints]:
+        """Evaluate one statement; returns the value taint for Return."""
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                return EMPTY
+            return self._eval(stmt.value, env, seedlike, record, module_rel)
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value, env, seedlike, record,
+                               module_rel)
+            for target in stmt.targets:
+                self._bind(target, taint, env)
+            self._track_seedlike(stmt, seedlike)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            taint = self._eval(stmt.value, env, seedlike, record,
+                               module_rel)
+            self._bind(stmt.target, taint, env)
+            self._track_seedlike(stmt, seedlike)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value, env, seedlike, record,
+                               module_rel)
+            if isinstance(stmt.target, ast.Name):
+                env[stmt.target.id] = env.get(stmt.target.id, EMPTY) | taint
+        elif isinstance(stmt, ast.For):
+            taint = self._eval(stmt.iter, env, seedlike, record, module_rel)
+            self._bind(stmt.target, taint - {SET_ORDER}, env)
+            if record is not None:
+                record.for_sites.append((stmt, taint))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr, env, seedlike,
+                                   record, module_rel)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint, env)
+        elif isinstance(stmt, (ast.Expr, ast.Raise,
+                               ast.Assert, ast.If, ast.While)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child, env, seedlike, record, module_rel)
+        return None
+
+    def _bind(self, target: ast.AST, taint: Taints,
+              env: Dict[str, Taints]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint, env)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, env)
+
+    def _track_seedlike(self, stmt: ast.stmt, seedlike: Set[str]) -> None:
+        value = getattr(stmt, "value", None)
+        targets = getattr(stmt, "targets", None) or \
+            ([stmt.target] if hasattr(stmt, "target") else [])
+        if value is None:
+            return
+        if seed_derived([value], seedlike):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    seedlike.add(target.id)
+
+    def _eval(self, expr: ast.AST, env: Dict[str, Taints],
+              seedlike: Set[str],
+              record: Optional[FunctionAnalysis],
+              module_rel: str) -> Taints:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, EMPTY)
+        if isinstance(expr, ast.Attribute):
+            return self._eval(expr.value, env, seedlike, record, module_rel)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env, seedlike, record, module_rel)
+        if isinstance(expr, ast.Set):
+            return frozenset({SET_ORDER})
+        if isinstance(expr, (ast.SetComp, ast.DictComp,
+                             ast.ListComp, ast.GeneratorExp)):
+            # Only list/generator comprehensions *materialize* the
+            # iteration order of their source; set/dict comprehensions
+            # re-key the elements, so iterating a set into another set
+            # is order-insensitive (construction is never the defect —
+            # the later ordered traversal is).
+            taint: Set[str] = set()
+            for gen in expr.generators:
+                t = self._eval(gen.iter, env, seedlike, record, module_rel)
+                taint |= t
+                if record is not None and SET_ORDER in t and \
+                        isinstance(expr, (ast.ListComp, ast.GeneratorExp)):
+                    record.comp_sites.append((expr, frozenset(t)))
+            # Element expressions: closed-over names keep their taint
+            # (`[(i, rng) for i in items]` ships the generator).
+            # SET_ORDER is a property of the container's iteration order,
+            # not of its values, so it does not hoist out of elements.
+            parts = [expr.key, expr.value] if isinstance(expr, ast.DictComp) \
+                else [expr.elt]
+            for part in parts:
+                taint |= self._eval(part, env, seedlike, record,
+                                    module_rel) - {SET_ORDER}
+            if isinstance(expr, ast.SetComp):
+                taint.add(SET_ORDER)
+            return frozenset(taint)
+        if isinstance(expr, ast.Constant):
+            return EMPTY
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            taint = set()
+            for elt in expr.elts:
+                taint |= self._eval(elt, env, seedlike, record,
+                                    module_rel) - {SET_ORDER}
+            return frozenset(taint)
+        if isinstance(expr, ast.Dict):
+            taint = set()
+            for part in list(expr.keys) + list(expr.values):
+                if part is not None:
+                    taint |= self._eval(part, env, seedlike, record,
+                                        module_rel) - {SET_ORDER}
+            return frozenset(taint)
+        if isinstance(expr, (ast.BinOp, ast.BoolOp, ast.Compare,
+                             ast.UnaryOp, ast.IfExp, ast.JoinedStr,
+                             ast.FormattedValue, ast.Subscript,
+                             ast.Starred, ast.Await, ast.Slice)):
+            taint = set()
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    taint |= self._eval(child, env, seedlike, record,
+                                        module_rel)
+            return frozenset(taint)
+        return EMPTY
+
+    def _eval_call(self, call: ast.Call, env: Dict[str, Taints],
+                   seedlike: Set[str],
+                   record: Optional[FunctionAnalysis],
+                   module_rel: str) -> Taints:
+        targets = self.graph.resolutions.get(id(call), ())
+        # Order-insensitive consumers: a set iterated straight into
+        # sorted()/min()/set() cannot leak iteration order, so comp/for
+        # sites inside their arguments are not recorded.
+        arg_record = record
+        if any(t in ORDER_INSENSITIVE_CONSUMERS for t in targets):
+            arg_record = None
+        arg_exprs = list(call.args) + [kw.value for kw in call.keywords]
+        arg_taints = [
+            self._eval(a, env, seedlike, arg_record, module_rel)
+            for a in arg_exprs
+        ]
+        taint: Set[str] = set()
+        source_targets: List[str] = []
+        for target in targets:
+            if target in WALLCLOCK_SOURCES:
+                taint.add(WALLCLOCK)
+                if record is not None:
+                    record.wallclock_calls.append(call)
+            elif target in RNG_CONSTRUCTORS:
+                seeded = seed_derived(
+                    list(call.args) + [kw.value for kw in call.keywords
+                                       if kw.arg in ("seed", None)],
+                    seedlike,
+                )
+                taint.add(RNG)
+                if not seeded:
+                    taint.add(UNSEEDED)
+                if record is not None:
+                    record.rng_sites.append(RngSite(
+                        node=call, seeded=seeded,
+                        function=record.qual,
+                    ))
+            elif target == "sorted":
+                for t in arg_taints:
+                    taint |= t
+                taint.discard(SET_ORDER)
+            elif target in ("list", "tuple", "frozenset", "iter",
+                            "reversed", "enumerate", "zip"):
+                for t in arg_taints:
+                    taint |= t
+            elif target == "set":
+                taint.add(SET_ORDER)
+                for t in arg_taints:
+                    taint |= t
+            elif target in self._stateful_classes:
+                taint.add(STATEFUL)
+            elif target in self.graph.functions:
+                summary = self.summaries.get(target, FunctionSummary())
+                taint |= summary.returns
+                for i in summary.passthrough:
+                    if i < len(arg_taints):
+                        taint |= arg_taints[i]
+                if WALLCLOCK in summary.returns:
+                    source_targets.append(target)
+            elif target in self.graph.classes:
+                # Plain constructor: taints of arguments don't escape.
+                pass
+        # Method calls on tainted receivers yield tainted values
+        # (``rng.normal(...)``, ``clock.wall_time()``): propagate the
+        # receiver's taint through the call.
+        if isinstance(call.func, ast.Attribute):
+            taint |= self._eval(call.func.value, env, seedlike, None,
+                                module_rel)
+        if record is not None and source_targets:
+            record.tainted_source_calls.append(
+                (call, tuple(source_targets))
+            )
+        return frozenset(taint)

@@ -9,11 +9,17 @@ Adding a rule: create (or extend) a module here with a
 from __future__ import annotations
 
 from . import contracts, determinism, floats, hygiene, registry_sync
+from ..flow import determinism as flow_determinism
+from ..flow import pool as flow_pool
+from ..flow import purity as flow_purity
 
 __all__ = [
     "contracts",
     "determinism",
     "floats",
+    "flow_determinism",
+    "flow_pool",
+    "flow_purity",
     "hygiene",
     "registry_sync",
 ]

@@ -17,15 +17,18 @@ Flagged inside ``src/``:
   flagged: measuring how long something took is the point of the
   reproduction; branching on the calendar is not.
 
-A single audited exemption exists: modules in
-:data:`WALL_CLOCK_ALLOWLIST` (the observability clock) may read the
-wall clock; everything else about them is still checked.
+A single audited exemption exists: the per-symbol entries of
+:data:`WALL_CLOCK_ALLOWLIST` (``WallClock.wall_time``, the
+observability clock's one calendar read) may read the wall clock;
+everything else — including the rest of ``obs/clock.py`` — is still
+checked.  The interprocedural DET012 rule (``--flow``) tracks where
+that value then travels.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from ..engine import ParsedModule, Rule, register
 from ..findings import Finding, Severity
@@ -43,14 +46,16 @@ _WALL_CLOCK = {
     ("date", "today"),
 }
 
-#: Modules allowed to read the wall clock.  The single audited entry is
-#: the observability clock: ``WallClock.wall_time`` stamps trace headers
-#: with a calendar time that is *recorded*, never branched on, and the
-#: deterministic ``TickClock`` replaces it entirely under
-#: ``--trace-ticks``.  RNG findings still apply to these modules.
-WALL_CLOCK_ALLOWLIST = frozenset({
-    "src/repro/obs/clock.py",
-})
+#: Symbols allowed to read the wall clock, per module.  The single
+#: audited entry is the observability clock's ``WallClock.wall_time``:
+#: it stamps trace headers with a calendar time that is *recorded*,
+#: never branched on, and the deterministic ``TickClock`` replaces it
+#: entirely under ``--trace-ticks``.  The exemption is per-symbol —
+#: other code in the same module is still checked — and RNG findings
+#: apply to the allowlisted symbols too.
+WALL_CLOCK_ALLOWLIST: Dict[str, frozenset] = {
+    "src/repro/obs/clock.py": frozenset({"WallClock.wall_time"}),
+}
 
 
 def _attr_chain(node: ast.AST) -> List[str]:
@@ -62,6 +67,29 @@ def _attr_chain(node: ast.AST) -> List[str]:
     if isinstance(node, ast.Name):
         parts.append(node.id)
     return list(reversed(parts))
+
+
+def _symbol_enclosure(tree: ast.AST) -> Dict[int, str]:
+    """id(node) → dotted enclosing symbol (``WallClock.wall_time``).
+
+    Module-level nodes map to ``<module>``; nesting joins with dots, so
+    the per-symbol allowlist can name exactly one method of one class.
+    """
+    out: Dict[int, str] = {}
+
+    def visit(node: ast.AST, symbol: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_symbol = child.name if symbol == "<module>" \
+                    else f"{symbol}.{child.name}"
+            out[id(child)] = child_symbol
+            visit(child, child_symbol)
+
+    out[id(tree)] = "<module>"
+    visit(tree, "<module>")
+    return out
 
 
 @register
@@ -77,6 +105,7 @@ class DeterminismRule(Rule):
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         random_aliases, random_names = self._stdlib_random_imports(module.tree)
+        enclosure = _symbol_enclosure(module.tree)
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)):
                 yield from self._check_import(module, node)
@@ -85,7 +114,8 @@ class DeterminismRule(Rule):
             chain = _attr_chain(node.func)
             if len(chain) >= 2:
                 yield from self._check_call_chain(
-                    module, node, chain, random_aliases
+                    module, node, chain, random_aliases,
+                    enclosure.get(id(node), "<module>"),
                 )
             elif len(chain) == 1 and chain[0] in random_names:
                 yield self.finding(
@@ -132,6 +162,7 @@ class DeterminismRule(Rule):
         node: ast.Call,
         chain: List[str],
         random_aliases: Set[str],
+        symbol: str = "<module>",
     ) -> Iterator[Finding]:
         head, attr = chain[0], chain[-1]
         # np.random.<fn>() / numpy.random.<fn>() global-state calls.
@@ -157,8 +188,9 @@ class DeterminismRule(Rule):
                 "Generator",
             )
             return
-        # Wall-clock reads (except the audited obs clock module).
-        if module.rel in WALL_CLOCK_ALLOWLIST:
+        # Wall-clock reads (except the audited per-symbol exemptions).
+        allowed_symbols = WALL_CLOCK_ALLOWLIST.get(module.rel, frozenset())
+        if symbol in allowed_symbols:
             return
         if (chain[-2], attr) in _WALL_CLOCK:
             yield self.finding(

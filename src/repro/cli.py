@@ -446,6 +446,14 @@ def _cmd_lint(args) -> None:
         argv.append("--strict")
     if args.write_baseline:
         argv.append("--write-baseline")
+    if args.prune_baseline:
+        argv.append("--prune-baseline")
+    if args.flow:
+        argv.append("--flow")
+    if args.graph:
+        argv.extend(["--graph", args.graph])
+    if args.write_purity:
+        argv.extend(["--write-purity", args.write_purity])
     argv.extend(["--format", args.format])
     code = lint_main(argv)
     if code != 0:
@@ -668,7 +676,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail on any non-baselined finding")
     p.add_argument("--write-baseline", action="store_true",
                    help="grandfather current findings into the baseline")
-    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--prune-baseline", action="store_true",
+                   help="drop stale baseline entries and rewrite the file")
+    p.add_argument("--flow", action="store_true",
+                   help="enable interprocedural flow rules "
+                        "(DET01x, PURE001, POOL00x)")
+    p.add_argument("--graph", metavar="PATH",
+                   help="write the call graph as JSON to PATH")
+    p.add_argument("--write-purity", metavar="PATH",
+                   help="write the purity report as JSON to PATH")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text")
     p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("checks", help="simulator consistency checks")

@@ -89,7 +89,9 @@ class TestEndToEnd:
         assert len(report.baselined) == 1
         assert report.exit_code(strict=True) == 0
 
-    def test_stale_entry_fails_strict(self):
+    def test_stale_entry_fails_strict_and_default(self):
+        # A suppression that no longer matches anything is rot: it
+        # fails the run in both modes (prune with --prune-baseline).
         baseline = Baseline(entries=[BaselineEntry(
             rule="FLT001", path="src/m.py", context="gone", reason="r")])
         report = Analyzer(
@@ -97,4 +99,4 @@ class TestEndToEnd:
         ).run([mk("src/m.py", "x = 1\n")])
         assert report.stale_baseline == baseline.entries
         assert report.exit_code(strict=True) == 1
-        assert report.exit_code(strict=False) == 0
+        assert report.exit_code(strict=False) == 1

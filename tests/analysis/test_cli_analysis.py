@@ -100,6 +100,121 @@ class TestMain:
         assert code == 0
 
 
+class TestErrorPaths:
+    def test_nonexistent_explicit_path_is_usage_error(self, project, capsys):
+        code, _ = run(["src/gone.py", "--root", str(project)])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unreadable_file_reports_parse000(self, project):
+        bad = project / "src" / "binary.py"
+        bad.write_bytes(b"\xff\xfe\x00garbage\x00")
+        (project / "src" / "bad.py").unlink()
+        code, out = run(["--root", str(project)])
+        assert code == 1
+        assert "PARSE000" in out and "unreadable" in out
+
+    def test_syntax_error_reports_parse000(self, project):
+        (project / "src" / "bad.py").write_text("def broken(:\n")
+        code, out = run(["--root", str(project)])
+        assert code == 1
+        assert "PARSE000" in out
+
+    def test_malformed_baseline_json_is_usage_error(self, project, capsys):
+        (project / "analysis-baseline.json").write_text("{not json")
+        code, _ = run(["--root", str(project)])
+        assert code == 2
+        assert "bad baseline file" in capsys.readouterr().err
+
+    def test_empty_root_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        code, _ = run(["--root", str(tmp_path)])
+        assert code == 2
+        assert "nothing to analyze" in capsys.readouterr().err
+
+
+class TestStaleSuppressions:
+    def test_stale_entry_fails_default_mode_with_guidance(self, project):
+        run(["--root", str(project), "--write-baseline"])
+        (project / "src" / "bad.py").write_text("x = 1\n")
+        code, out = run(["--root", str(project)])
+        assert code == 1
+        assert "stale suppression" in out
+        assert "--prune-baseline" in out
+
+    def test_prune_baseline_round_trip(self, project):
+        run(["--root", str(project), "--write-baseline"])
+        (project / "src" / "bad.py").write_text("x = 1\n")
+        code, out = run(["--root", str(project), "--prune-baseline"])
+        assert code == 0
+        assert "pruned 1 stale entry" in out
+        baseline = json.loads(
+            (project / "analysis-baseline.json").read_text())
+        assert baseline["entries"] == []
+        assert run(["--root", str(project), "--strict"])[0] == 0
+
+    def test_prune_keeps_live_entries(self, project):
+        run(["--root", str(project), "--write-baseline"])
+        code, out = run(["--root", str(project), "--prune-baseline"])
+        assert code == 0
+        assert "kept 1" in out
+        assert run(["--root", str(project), "--strict"])[0] == 0
+
+
+class TestFlowFlags:
+    def test_flow_enables_opt_in_rules(self, project):
+        (project / "src" / "bad.py").write_text(
+            "import numpy as np\n\n"
+            "def make_rng():\n"
+            "    return np.random.default_rng()\n"
+        )
+        assert run(["--root", str(project)])[0] == 0
+        code, out = run(["--root", str(project), "--flow"])
+        assert code == 1
+        assert "DET010" in out
+
+    def test_list_rules_marks_opt_in(self):
+        _, out = run(["--list-rules", "--flow"])
+        assert "DET010" in out and "(opt-in)" in out
+
+    def test_graph_artifact(self, project, tmp_path):
+        target = tmp_path / "callgraph.json"
+        code, out = run(["--root", str(project), "--graph", str(target),
+                         "src/clean.py"])
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert "functions" in payload and "edges" in payload
+
+    def test_purity_artifact(self, project, tmp_path):
+        (project / "src" / "bad.py").unlink()
+        target = tmp_path / "purity.json"
+        code, out = run(["--root", str(project), "--write-purity",
+                         str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["version"] == 1
+        assert "hot_path" in payload
+
+    def test_artifacts_need_src_modules(self, project, tmp_path, capsys):
+        tests_dir = project / "tests"
+        tests_dir.mkdir()
+        (tests_dir / "test_x.py").write_text("def test_a():\n    pass\n")
+        code, _ = run(["--root", str(project), "--graph",
+                       str(tmp_path / "g.json"), "tests"])
+        assert code == 2
+        assert "need src/" in capsys.readouterr().err
+
+
+class TestSarifFormat:
+    def test_sarif_output_parses_and_carries_findings(self, project):
+        code, out = run(["--root", str(project), "--format", "sarif"])
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "MUT001" for r in results)
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_strict_on_repo(self):
         if not (REPO_ROOT / "pyproject.toml").exists():

@@ -1,0 +1,251 @@
+"""Call-graph builder fixtures: names, edges, pool sites, queries."""
+
+from repro.analysis.flow import build_callgraph, graph_to_json
+from repro.analysis.flow.callgraph import module_name
+
+from .conftest import mk
+
+
+class TestModuleName:
+    def test_src_prefix_stripped(self):
+        assert module_name("src/repro/evaluate/parallel.py") == \
+            "repro.evaluate.parallel"
+
+    def test_package_init(self):
+        assert module_name("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_tests_keep_prefix(self):
+        assert module_name("tests/analysis/test_engine.py") == \
+            "tests.analysis.test_engine"
+
+
+class TestCollection:
+    def test_functions_methods_nested(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            def top():
+                def inner():
+                    pass
+                return inner
+
+            class C:
+                def method(self):
+                    pass
+        """)])
+        assert "pkg.m.top" in g.functions
+        assert "pkg.m.top.<locals>.inner" in g.functions
+        assert "pkg.m.C.method" in g.functions
+        assert g.functions["pkg.m.top"].is_module_level
+        assert g.functions["pkg.m.top.<locals>.inner"].nested
+        assert g.functions["pkg.m.C.method"].is_method
+
+    def test_guarded_defs_collected(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            try:
+                def fast():
+                    pass
+            except ImportError:
+                def fast():
+                    pass
+        """)])
+        assert "pkg.m.fast" in g.functions
+
+
+class TestEdges:
+    def test_intra_module_call(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            def helper():
+                pass
+
+            def main():
+                helper()
+        """)])
+        assert "pkg.m.helper" in g.successors("pkg.m.main")
+
+    def test_cross_module_import_call(self):
+        g = build_callgraph([
+            mk("src/pkg/a.py", """
+                def util():
+                    pass
+            """),
+            mk("src/pkg/b.py", """
+                from pkg.a import util
+
+                def go():
+                    util()
+            """),
+        ])
+        assert "pkg.a.util" in g.successors("pkg.b.go")
+
+    def test_relative_import_call(self):
+        g = build_callgraph([
+            mk("src/pkg/a.py", """
+                def util():
+                    pass
+            """),
+            mk("src/pkg/b.py", """
+                from .a import util
+
+                def go():
+                    util()
+            """),
+        ])
+        assert "pkg.a.util" in g.successors("pkg.b.go")
+
+    def test_reexport_resolution(self):
+        g = build_callgraph([
+            mk("src/pkg/impl.py", """
+                def work():
+                    pass
+            """),
+            mk("src/pkg/__init__.py", """
+                from .impl import work
+            """),
+            mk("src/other/use.py", """
+                import pkg
+
+                def go():
+                    pkg.work()
+            """),
+        ])
+        assert "pkg.impl.work" in g.successors("other.use.go")
+
+    def test_self_method_call(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            class C:
+                def a(self):
+                    self.b()
+
+                def b(self):
+                    pass
+        """)])
+        assert "pkg.m.C.b" in g.successors("pkg.m.C.a")
+
+    def test_constructor_typed_local(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            class C:
+                def b(self):
+                    pass
+
+            def go():
+                c = C()
+                c.b()
+        """)])
+        assert "pkg.m.C.b" in g.successors("pkg.m.go")
+
+    def test_partial_edge(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            from functools import partial
+
+            def worker(x, y):
+                pass
+
+            def go():
+                f = partial(worker, 1)
+                f(2)
+        """)])
+        kinds = g.edge_kinds.get(("pkg.m.go", "pkg.m.worker"), set())
+        assert kinds  # partial wrap and/or call through the bound name
+
+    def test_function_ref_argument(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            def callback():
+                pass
+
+            def go(dispatch):
+                dispatch(callback)
+        """)])
+        assert ("pkg.m.go", "pkg.m.callback") in g.edge_kinds
+
+    def test_calls_in_nested_blocks_resolved_once(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            def helper():
+                pass
+
+            def go(flag):
+                if flag:
+                    with open("x") as fh:
+                        helper()
+        """)])
+        edges = [e for e in g.edges
+                 if e.caller == "pkg.m.go" and e.callee == "pkg.m.helper"]
+        assert len(edges) == 1
+
+
+class TestQueries:
+    def test_closure_and_reaches(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            def leaf():
+                pass
+
+            def mid():
+                leaf()
+
+            def root():
+                mid()
+
+            def unrelated():
+                pass
+        """)])
+        closure = g.closure(["pkg.m.root"])
+        assert {"pkg.m.root", "pkg.m.mid", "pkg.m.leaf"} <= closure
+        assert "pkg.m.unrelated" not in closure
+        reach = g.reaches(["pkg.m.leaf"])
+        assert {"pkg.m.root", "pkg.m.mid"} <= reach
+        assert "pkg.m.unrelated" not in reach
+
+
+class TestPoolSites:
+    def test_executor_map_and_init(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _init(state):
+                pass
+
+            def _work(item):
+                return item
+
+            def go(items):
+                with ProcessPoolExecutor(
+                    max_workers=2, initializer=_init, initargs=(1,)
+                ) as pool:
+                    return list(pool.map(_work, items, chunksize=4))
+        """)])
+        kinds = sorted(s.kind for s in g.pool_sites)
+        assert kinds == ["init", "map"]
+        by_kind = {s.kind: s for s in g.pool_sites}
+        assert by_kind["init"].callee == "pkg.m._init"
+        assert by_kind["map"].callee == "pkg.m._work"
+        # chunksize kwarg is not a shipped argument.
+        assert len(by_kind["map"].args) == 1
+
+    def test_taskgraph_submit_is_not_a_pool(self):
+        g = build_callgraph([mk("src/pkg/m.py", """
+            class TaskGraph:
+                def submit(self, fn):
+                    pass
+
+            def go():
+                graph = TaskGraph()
+                graph.submit(go)
+        """)])
+        assert g.pool_sites == []
+
+
+class TestGraphJson:
+    def test_deterministic_and_structured(self):
+        mods = [mk("src/pkg/m.py", """
+            def a():
+                pass
+
+            def b():
+                a()
+        """)]
+        one = graph_to_json(build_callgraph(mods))
+        two = graph_to_json(build_callgraph([mk("src/pkg/m.py",
+                                                mods[0].source)]))
+        assert one == two
+        assert one["version"] == 1
+        assert "pkg.m.a" in one["functions"]
+        assert any(e["caller"] == "pkg.m.b" and e["callee"] == "pkg.m.a"
+                   for e in one["edges"])

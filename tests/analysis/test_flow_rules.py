@@ -1,0 +1,335 @@
+"""Flow-rule fixtures: positive and negative cases for DET010-DET013,
+PURE001, and POOL001/POOL002."""
+
+from repro.analysis import all_rules
+
+from .conftest import mk, run_rules
+
+
+def findings(rule_id, *modules):
+    rules = all_rules(only=[rule_id])
+    return run_rules(rules, *(mk(rel, src) for rel, src in modules))
+
+
+class TestDet010UnseededRngReachesSimulation:
+    def test_positive_unseeded_on_hot_path(self):
+        out = findings("DET010", ("src/pkg/sim.py", """
+            import numpy as np
+
+            def run_cell_trace(cell):
+                return cell
+
+            def driver(cells):
+                rng = np.random.default_rng()
+                return [run_cell_trace(c) for c in cells]
+        """))
+        assert [f.rule for f in out] == ["DET010"]
+        assert "unseeded" in out[0].message
+
+    def test_positive_unseeded_escapes_via_return(self):
+        out = findings("DET010", ("src/pkg/util.py", """
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+        """))
+        assert [f.rule for f in out] == ["DET010"]
+        assert "escapes" in out[0].message
+
+    def test_negative_seeded_on_hot_path(self):
+        out = findings("DET010", ("src/pkg/sim.py", """
+            import numpy as np
+
+            def run_cell_trace(cell):
+                return cell
+
+            def driver(cells, base_seed):
+                rng = np.random.default_rng(base_seed)
+                return [run_cell_trace(c) for c in cells]
+        """))
+        assert out == []
+
+    def test_negative_unseeded_off_path_not_escaping(self):
+        out = findings("DET010", ("src/pkg/scratch.py", """
+            import numpy as np
+
+            def local_noise():
+                rng = np.random.default_rng()
+                rng.normal()
+        """))
+        assert out == []
+
+
+class TestDet011RngCrossesPoolBoundary:
+    def test_positive_generator_in_map_args(self):
+        out = findings("DET011", ("src/pkg/par.py", """
+            from concurrent.futures import ProcessPoolExecutor
+            import numpy as np
+
+            def work(pair):
+                return pair
+
+            def go(items, seed):
+                rng = np.random.default_rng(seed)
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, [(i, rng) for i in items]))
+        """))
+        assert [f.rule for f in out] == ["DET011"]
+        assert "pool boundary" in out[0].message
+
+    def test_positive_generator_in_initargs(self):
+        out = findings("DET011", ("src/pkg/par.py", """
+            from concurrent.futures import ProcessPoolExecutor
+            import numpy as np
+
+            def _init(rng):
+                pass
+
+            def work(item):
+                return item
+
+            def go(items, seed):
+                rng = np.random.default_rng(seed)
+                with ProcessPoolExecutor(
+                    initializer=_init, initargs=(rng,)
+                ) as pool:
+                    return list(pool.map(work, items))
+        """))
+        assert any("initargs" in f.message for f in out)
+
+    def test_negative_seed_crosses_instead(self):
+        out = findings("DET011", ("src/pkg/par.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(item):
+                return item
+
+            def go(items, base_seed):
+                with ProcessPoolExecutor(
+                    initializer=None, initargs=(base_seed,)
+                ) as pool:
+                    return list(pool.map(work, items))
+        """))
+        assert out == []
+
+
+class TestDet012WallClockFlow:
+    def test_positive_direct_and_laundered(self):
+        out = findings("DET012", ("src/pkg/m.py", """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def report():
+                started = stamp()
+                return started
+        """))
+        rules = [f.rule for f in out]
+        assert rules == ["DET012", "DET012"]
+        assert any("direct wall-clock read" in f.message for f in out)
+        assert any("through" in f.message for f in out)
+
+    def test_negative_audited_symbols(self):
+        out = findings(
+            "DET012",
+            ("src/repro/obs/clock.py", """
+                import time
+
+                class WallClock:
+                    def wall_time(self):
+                        return time.time()
+            """),
+            ("src/repro/obs/ledger.py", """
+                def make_entry(clock):
+                    return {"recorded_at": clock.wall_time()}
+
+                def record(clock, rows):
+                    rows.append(make_entry(clock))
+            """),
+        )
+        assert out == []
+
+    def test_negative_monotonic_timers_are_fine(self):
+        out = findings("DET012", ("src/pkg/m.py", """
+            import time
+
+            def measure():
+                return time.perf_counter()
+        """))
+        assert out == []
+
+
+class TestDet013SetIterationReachesArtifact:
+    def test_positive_set_iteration_before_serialization(self):
+        out = findings("DET013", ("src/pkg/m.py", """
+            import json
+
+            def export(items):
+                out = []
+                for item in {i for i in items}:
+                    out.append(item)
+                return json.dumps(out)
+        """))
+        assert [f.rule for f in out] == ["DET013"]
+        assert "sorted()" in out[0].message
+
+    def test_positive_listcomp_over_set(self):
+        out = findings("DET013", ("src/pkg/m.py", """
+            import json
+
+            def export(items):
+                seen = set(items)
+                return json.dumps([i for i in seen])
+        """))
+        assert [f.rule for f in out] == ["DET013"]
+
+    def test_negative_sorted_dominates(self):
+        out = findings("DET013", ("src/pkg/m.py", """
+            import json
+
+            def export(items):
+                out = []
+                for item in sorted({i for i in items}):
+                    out.append(item)
+                return json.dumps(out)
+        """))
+        assert out == []
+
+    def test_negative_no_serialization_sink(self):
+        out = findings("DET013", ("src/pkg/m.py", """
+            def total(items):
+                acc = 0
+                for item in {i for i in items}:
+                    acc += item
+                return acc
+        """))
+        assert out == []
+
+
+class TestPure001HotPathPurity:
+    def test_positive_io_in_run_closure(self):
+        out = findings("PURE001", ("src/repro/runtime/simulator.py", """
+            def log_step(x):
+                print(x)
+                return x
+
+            class Simulator:
+                def run(self):
+                    return log_step(1)
+        """))
+        assert [f.rule for f in out] == ["PURE001"]
+        assert "hot path" in out[0].message
+
+    def test_positive_global_mutation_in_run_closure(self):
+        out = findings("PURE001", ("src/repro/runtime/simulator.py", """
+            _CACHE = {}
+
+            def remember(k, v):
+                _CACHE[k] = v
+                return v
+
+            class Simulator:
+                def run(self):
+                    return remember("a", 1)
+        """))
+        assert [f.rule for f in out] == ["PURE001"]
+
+    def test_negative_pure_closure(self):
+        out = findings("PURE001", ("src/repro/runtime/simulator.py", """
+            def step(x):
+                return x + 1
+
+            class Simulator:
+                def run(self):
+                    return step(1)
+        """))
+        assert out == []
+
+    def test_negative_io_outside_closure(self):
+        out = findings("PURE001", ("src/repro/runtime/simulator.py", """
+            def export(x):
+                print(x)
+
+            class Simulator:
+                def run(self):
+                    return 1
+        """))
+        assert out == []
+
+
+class TestPool001Picklable:
+    def test_positive_lambda(self):
+        out = findings("POOL001", ("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def go(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(lambda x: x + 1, items))
+        """))
+        assert [f.rule for f in out] == ["POOL001"]
+        assert "lambda" in out[0].message
+
+    def test_positive_nested_function(self):
+        out = findings("POOL001", ("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def go(items):
+                def work(x):
+                    return x + 1
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+        """))
+        assert [f.rule for f in out] == ["POOL001"]
+        assert "nested" in out[0].message
+
+    def test_negative_module_level_function(self):
+        out = findings("POOL001", ("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(x):
+                return x + 1
+
+            def go(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, items))
+        """))
+        assert out == []
+
+
+class TestPool002StatefulArgs:
+    def test_positive_stateful_bank_shipped(self):
+        out = findings("POOL002", ("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Bank:
+                def reset(self):
+                    pass
+
+            def work(bank):
+                return bank
+
+            def go():
+                bank = Bank()
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, [bank]))
+        """))
+        assert [f.rule for f in out] == ["POOL002"]
+        assert "reset()" in out[0].message
+
+    def test_negative_stateless_payload(self):
+        out = findings("POOL002", ("src/pkg/m.py", """
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Row:
+                pass
+
+            def work(row):
+                return row
+
+            def go():
+                row = Row()
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(work, [row]))
+        """))
+        assert out == []

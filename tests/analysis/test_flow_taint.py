@@ -1,0 +1,175 @@
+"""Taint-engine fixtures: sources, sanitizers, summaries, seeds."""
+
+import ast
+
+from repro.analysis.flow import TaintEngine, build_callgraph
+from repro.analysis.flow.taint import (
+    RNG,
+    SET_ORDER,
+    STATEFUL,
+    UNSEEDED,
+    WALLCLOCK,
+    seed_derived,
+)
+
+from .conftest import mk
+
+
+def engine(*modules):
+    parsed = [mk(rel, src) for rel, src in modules]
+    return TaintEngine(build_callgraph(parsed), parsed)
+
+
+class TestSeedDerived:
+    def _args(self, expr):
+        call = ast.parse(expr).body[0].value
+        return list(call.args)
+
+    def test_no_args_is_unseeded(self):
+        assert not seed_derived(self._args("f()"), set())
+
+    def test_seed_name_mention(self):
+        assert seed_derived(self._args("f(base_seed + 1)"), set())
+
+    def test_seed_attribute_mention(self):
+        assert seed_derived(self._args("f((cfg.seed, 7, idx))"), set())
+
+    def test_constant_only(self):
+        assert seed_derived(self._args("f(12345)"), set())
+
+    def test_derive_cell_seed_call(self):
+        assert seed_derived(
+            self._args("f(derive_cell_seed(s, rep, 0))"), set()
+        )
+
+    def test_arbitrary_variable_is_not_a_seed(self):
+        assert not seed_derived(self._args("f(rep_index)"), set())
+
+    def test_seedlike_env_vars_count(self):
+        assert seed_derived(self._args("f(derived)"), {"derived"})
+
+
+class TestSources:
+    def test_unseeded_rng_site_recorded(self):
+        eng = engine(("src/pkg/m.py", """
+            import numpy as np
+
+            def make():
+                rng = np.random.default_rng()
+                return rng
+        """))
+        analysis = eng.analysis("pkg.m.make")
+        assert [s.seeded for s in analysis.rng_sites] == [False]
+        assert {RNG, UNSEEDED} <= eng.summary("pkg.m.make").returns
+
+    def test_seeded_rng_site(self):
+        eng = engine(("src/pkg/m.py", """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+        """))
+        analysis = eng.analysis("pkg.m.make")
+        assert [s.seeded for s in analysis.rng_sites] == [True]
+        summary = eng.summary("pkg.m.make")
+        assert RNG in summary.returns
+        assert UNSEEDED not in summary.returns
+
+    def test_wallclock_source_and_interprocedural_summary(self):
+        eng = engine(("src/pkg/m.py", """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def launder():
+                return stamp()
+        """))
+        assert WALLCLOCK in eng.summary("pkg.m.stamp").returns
+        assert WALLCLOCK in eng.summary("pkg.m.launder").returns
+        assert len(eng.analysis("pkg.m.stamp").wallclock_calls) == 1
+        assert len(eng.analysis("pkg.m.launder").tainted_source_calls) == 1
+
+    def test_stateful_class_construction(self):
+        eng = engine(("src/pkg/m.py", """
+            class Bank:
+                def reset(self):
+                    pass
+
+            def make():
+                return Bank()
+        """))
+        assert STATEFUL in eng.summary("pkg.m.make").returns
+
+    def test_plain_class_is_not_stateful(self):
+        eng = engine(("src/pkg/m.py", """
+            class Row:
+                pass
+
+            def make():
+                return Row()
+        """))
+        assert STATEFUL not in eng.summary("pkg.m.make").returns
+
+
+class TestSanitizersAndPropagation:
+    def test_sorted_strips_set_order(self):
+        eng = engine(("src/pkg/m.py", """
+            def go(items):
+                s = {i for i in items}
+                ordered = sorted(s)
+                return ordered
+        """))
+        assert SET_ORDER not in eng.summary("pkg.m.go").returns
+
+    def test_list_of_set_keeps_set_order(self):
+        eng = engine(("src/pkg/m.py", """
+            def go(items):
+                return list({i for i in items})
+        """))
+        assert SET_ORDER in eng.summary("pkg.m.go").returns
+
+    def test_rebinding_clears_taint(self):
+        eng = engine(("src/pkg/m.py", """
+            def go(items):
+                xs = {i for i in items}
+                xs = [1, 2, 3]
+                return xs
+        """))
+        assert SET_ORDER not in eng.summary("pkg.m.go").returns
+
+    def test_param_passthrough(self):
+        eng = engine(("src/pkg/m.py", """
+            import numpy as np
+
+            def identity(x):
+                return x
+
+            def go():
+                rng = np.random.default_rng()
+                return identity(rng)
+        """))
+        assert 0 in eng.summary("pkg.m.identity").passthrough
+        assert RNG in eng.summary("pkg.m.go").returns
+
+    def test_method_call_propagates_receiver_taint(self):
+        eng = engine(("src/pkg/m.py", """
+            import numpy as np
+
+            def go(seed):
+                rng = np.random.default_rng(seed)
+                draw = rng.normal(0.0, 1.0)
+                return draw
+        """))
+        assert RNG in eng.summary("pkg.m.go").returns
+
+    def test_module_level_bindings_seed_function_envs(self):
+        eng = engine(("src/pkg/m.py", """
+            import numpy as np
+
+            _GLOBAL_RNG = np.random.default_rng()
+
+            def go():
+                return _GLOBAL_RNG
+        """))
+        assert RNG in eng.summary("pkg.m.go").returns

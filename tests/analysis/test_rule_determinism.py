@@ -102,22 +102,39 @@ class TestScope:
 
 
 class TestWallClockAllowlist:
-    """The single audited exemption: the observability clock module."""
+    """The single audited exemption: WallClock.wall_time, per-symbol."""
 
     ALLOWED = "src/repro/obs/clock.py"
 
-    def test_obs_clock_may_read_wall_clock(self):
+    def test_wallclock_wall_time_may_read_wall_clock(self):
         assert not findings(self.ALLOWED, """
+            import time
+            class WallClock:
+                def wall_time(self):
+                    return time.time()
+        """)
+
+    def test_other_symbols_in_clock_module_still_flagged(self):
+        # The exemption is per-symbol, not per-file: a module-level
+        # helper (or another method) in clock.py is no longer exempt.
+        assert findings(self.ALLOWED, """
             import time
             def wall_time():
                 return time.time()
+        """)
+        assert findings(self.ALLOWED, """
+            import time
+            class WallClock:
+                def drift(self):
+                    return time.time()
         """)
 
     def test_same_source_elsewhere_still_flagged(self):
         src = """
             import time
-            def wall_time():
-                return time.time()
+            class WallClock:
+                def wall_time(self):
+                    return time.time()
         """
         assert findings("src/repro/obs/other.py", src)
         assert findings("src/repro/runtime/simulator.py", src)
@@ -129,7 +146,9 @@ class TestWallClockAllowlist:
         """)
         assert out and "hidden global RNG" in out[0].message
 
-    def test_allowlist_is_a_single_audited_module(self):
+    def test_allowlist_is_a_single_audited_symbol(self):
         from repro.analysis.rules.determinism import WALL_CLOCK_ALLOWLIST
 
-        assert WALL_CLOCK_ALLOWLIST == frozenset({self.ALLOWED})
+        assert WALL_CLOCK_ALLOWLIST == {
+            self.ALLOWED: frozenset({"WallClock.wall_time"}),
+        }
