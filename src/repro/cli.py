@@ -18,6 +18,9 @@ Examples
     python -m repro perf check b            # gate against the baseline
     python -m repro faults list             # canned fault schedules
     python -m repro faults run i --reps 5   # raw vs resilient campaign
+    python -m repro fuzz run --count 24     # strategy properties on a corpus
+    python -m repro fuzz replay             # committed regression scenarios
+    python -m repro fuzz promote 4 --strategy UCB --check regret-bound
 """
 
 from __future__ import annotations
@@ -347,6 +350,207 @@ def _cmd_faults_run(args) -> None:
             print(f"  report : {path}")
 
 
+def _fuzz_validate(args) -> None:
+    """Shared `repro fuzz` argument validation (exit 2 on bad input)."""
+    from .fuzz import FAMILIES
+    from .strategies.registry import registered_names
+
+    families = getattr(args, "families", None)
+    if families:
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            print(f"error: unknown family(s) {unknown}; known: "
+                  f"{list(FAMILIES)}", file=sys.stderr)
+            sys.exit(2)
+    if args.seed < 0:
+        print(f"error: --seed must be >= 0, got {args.seed}", file=sys.stderr)
+        sys.exit(2)
+    if args.bound <= 0:
+        print(f"error: --bound must be positive, got {args.bound}",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.iterations < 9:
+        print(f"error: --iterations must be >= 9 (fault windows), got "
+              f"{args.iterations}", file=sys.stderr)
+        sys.exit(2)
+    strategies = getattr(args, "strategies", None) or []
+    strategy = getattr(args, "strategy", None)
+    if strategy is not None:
+        strategies = strategies + [strategy]
+    bad = [s for s in strategies if s not in registered_names()]
+    if bad:
+        print(f"error: unknown strategy(s) {bad}; registered: "
+              f"{registered_names()}", file=sys.stderr)
+        sys.exit(2)
+
+
+def _cmd_fuzz_run(args) -> None:
+    import json
+    from pathlib import Path
+
+    from .evaluate import format_table
+    from .fuzz import (
+        FAMILIES,
+        FuzzConfig,
+        PropertyConfig,
+        promote,
+        run_properties,
+        sample_corpus,
+        shrink,
+    )
+
+    _fuzz_validate(args)
+    if args.count < 1:
+        print(f"error: --count must be >= 1, got {args.count}",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        sys.exit(2)
+
+    families = tuple(args.families) if args.families else FAMILIES
+    fuzz_cfg = FuzzConfig(iterations=args.iterations)
+    corpus = sample_corpus(args.count, args.seed, families=families,
+                           config=fuzz_cfg)
+    config = PropertyConfig(
+        iterations=args.iterations,
+        regret_bound=args.bound,
+        workers=args.workers,
+        strategies=tuple(args.strategies) if args.strategies else None,
+        check_workers=not args.no_workers_check,
+    )
+
+    def progress(done: int, total: int) -> None:
+        print(f"\r  fuzz corpus: {done}/{total} scenarios", end="",
+              file=sys.stderr, flush=True)
+
+    report = run_properties(corpus, config, fuzz_config=fuzz_cfg,
+                            progress=progress)
+    print(file=sys.stderr)
+
+    payload = report.to_dict()
+    faulted = sum(1 for p in corpus if p.schedule is not None)
+    print(f"fuzz run: seed={args.seed}, {len(corpus)} scenario(s) "
+          f"({', '.join(families)}; {faulted} faulted), "
+          f"iterations={args.iterations}")
+    print(format_table(
+        ["strategy", "max ratio", "mean ratio", "bound", "failures"],
+        [[name, f"{s['max_ratio']:.3f}", f"{s['mean_ratio']:.3f}",
+          f"{s['bound']:.3f}", s["failures"]]
+         for name, s in payload["strategies"].items()],
+    ))
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"  report : {out}")
+
+    if report.ok:
+        print("  all properties held")
+        return
+    by_key = {o.platform.key: o.platform for o in report.outcomes}
+    artifact_dir = Path(args.artifact_dir)
+    for failure in report.failures:
+        print(f"  FAILED {failure.key} {failure.strategy} {failure.check}: "
+              f"{failure.detail}")
+        platform, steps = by_key[failure.key], ()
+        if not args.no_shrink:
+            result = shrink(platform, failure, config)
+            platform, failure, steps = (
+                result.platform, result.failure, result.steps
+            )
+            print(f"    shrunk in {len(steps)} step(s): "
+                  f"{' -> '.join(steps) if steps else '(already minimal)'}")
+        path = promote(platform, failure, config,
+                       directory=artifact_dir, steps=steps)
+        print(f"    artifact : {path}")
+    sys.exit(1)
+
+
+def _cmd_fuzz_replay(args) -> None:
+    from pathlib import Path
+
+    from .fuzz import GOLDEN_DIR, replay_golden
+
+    directory = Path(args.dir) if args.dir else GOLDEN_DIR
+    if args.entries:
+        paths = []
+        for entry in args.entries:
+            path = Path(entry)
+            if not path.exists():
+                path = directory / entry
+            if not path.exists():
+                print(f"error: no such corpus entry {entry!r} "
+                      f"(looked in {directory})", file=sys.stderr)
+                sys.exit(2)
+            paths.append(path)
+    else:
+        paths = sorted(directory.glob("*.json"))
+        if not paths:
+            print(f"no promoted scenarios under {directory}")
+            return
+    reproduced = 0
+    for path in paths:
+        try:
+            failures = replay_golden(path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            sys.exit(2)
+        if failures:
+            reproduced += len(failures)
+            for f in failures:
+                print(f"REPRODUCED {path.name}: {f.strategy} {f.check} "
+                      f"observed={f.observed:.4f} bound={f.bound:.4f}")
+        else:
+            print(f"ok {path.name}")
+    print(f"replayed {len(paths)} scenario(s), {reproduced} reproduced")
+    if reproduced:
+        sys.exit(1)
+
+
+def _cmd_fuzz_promote(args) -> None:
+    from pathlib import Path
+
+    from .fuzz import (
+        PropertyConfig,
+        check_platform,
+        promote,
+        sample_platform,
+        shrink,
+    )
+
+    _fuzz_validate(args)
+    platform = sample_platform(args.index, args.seed)
+    config = PropertyConfig(
+        iterations=args.iterations,
+        regret_bound=args.bound,
+        strategies=(args.strategy,),
+        check_replay=args.check == "replay",
+        check_workers=False,
+    )
+    outcome = check_platform(
+        platform, config,
+        check_workers=args.check == "workers-equivalence",
+    )
+    matches = [f for f in outcome.failures if f.check == args.check]
+    if not matches:
+        print(f"property {args.check!r} holds for {args.strategy} on "
+              f"{platform.key}; nothing to promote")
+        sys.exit(1)
+    failure, steps = matches[0], ()
+    if not args.no_shrink:
+        result = shrink(platform, failure, config)
+        platform, failure, steps = (
+            result.platform, result.failure, result.steps
+        )
+        print(f"shrunk in {len(steps)} step(s): "
+              f"{' -> '.join(steps) if steps else '(already minimal)'}")
+    path = promote(platform, failure, config, directory=Path(args.dir),
+                   steps=steps)
+    print(f"promoted : {path}")
+
+
 def _cmd_grid(args) -> None:
     from .evaluate import figure8
     from .viz import heatmap
@@ -632,6 +836,66 @@ def build_parser() -> argparse.ArgumentParser:
                     help="root-level campaign artifact ('' disables)")
     _add_trace_args(pp)
     pp.set_defaults(fn=_cmd_faults_run)
+
+    p = sub.add_parser(
+        "fuzz", help="seeded scenario fuzzing & strategy property tests"
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    def _fuzz_common(pp) -> None:
+        pp.add_argument("--seed", type=int, default=0,
+                        help="corpus root seed (>= 0)")
+        pp.add_argument("--iterations", type=int, default=50,
+                        help="adaptation iterations per cell (>= 9)")
+        pp.add_argument("--bound", type=float, default=0.65,
+                        help="regret-ratio bound on adaptive strategies")
+        pp.add_argument("--no-shrink", action="store_true",
+                        help="skip minimization of failing scenarios")
+
+    pp = fuzz_sub.add_parser(
+        "run", help="run every strategy property over a fuzzed corpus"
+    )
+    _fuzz_common(pp)
+    pp.add_argument("--count", type=int, default=24,
+                    help="corpus size (scenarios)")
+    pp.add_argument("--families", nargs="+", default=[],
+                    help="workload families (cholesky, msr; default both)")
+    pp.add_argument("--strategies", nargs="+", default=[],
+                    help="strategy names (default: every registered one)")
+    pp.add_argument("--workers", type=int, default=1,
+                    help="harness workers of the main run")
+    pp.add_argument("--no-workers-check", action="store_true",
+                    help="skip the workers=1 vs 2 equivalence property")
+    pp.add_argument("--out", default="BENCH_fuzz.json",
+                    help="canonical report JSON ('' disables)")
+    pp.add_argument("--artifact-dir",
+                    default=str(Path("benchmarks") / "out" / "fuzz"),
+                    help="where shrunk failing scenarios are written")
+    pp.set_defaults(fn=_cmd_fuzz_run)
+
+    pp = fuzz_sub.add_parser(
+        "replay", help="re-check promoted regression scenarios"
+    )
+    pp.add_argument("entries", nargs="*",
+                    help="golden file names or paths (default: every "
+                         "committed one)")
+    pp.add_argument("--dir", default="",
+                    help="golden directory (default tests/goldens/fuzz)")
+    pp.set_defaults(fn=_cmd_fuzz_replay)
+
+    pp = fuzz_sub.add_parser(
+        "promote", help="shrink one failing scenario into a canned regression"
+    )
+    pp.add_argument("index", type=int, help="corpus index of the scenario")
+    pp.add_argument("--strategy", required=True,
+                    help="registered strategy name")
+    pp.add_argument("--check", required=True,
+                    choices=("regret-bound", "regret-monotone", "replay",
+                             "workers-equivalence"))
+    pp.add_argument("--dir", default=str(Path("tests") / "goldens" / "fuzz"),
+                    help="output directory of the promoted scenario")
+    _fuzz_common(pp)
+    pp.set_defaults(fn=_cmd_fuzz_promote)
 
     p = sub.add_parser("grid", help="2-D gen x fact sweep (Fig 8)")
     p.add_argument("scenario", nargs="?", default="f")

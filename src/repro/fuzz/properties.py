@@ -1,0 +1,465 @@
+"""Seeded strategy invariants over a fuzzed corpus.
+
+Four properties per (scenario, strategy) cell, all deterministic given
+the corpus root seed:
+
+``regret-bound``
+    Cumulative expected regret against the clairvoyant oracle, as a
+    fraction of the worst-case regret (always playing the worst feasible
+    arm), stays under a per-strategy bound.  Exploitation-capable
+    strategies (the bandit/GP families and their ``Resilient(...)``
+    wrappers) must stay under the configurable ``regret_bound``; the
+    heuristics the paper itself shows failing off-menu (DC, Right-Left,
+    Brent, SANN, ...) and the All-nodes baseline get the universal bound
+    of 1.0 -- the ratio cannot mathematically exceed it, so a violation
+    flags broken regret accounting rather than a weak strategy.
+``regret-monotone``
+    Instantaneous expected regret is non-negative at every iteration
+    (equivalently: cumulative regret is monotone non-decreasing).
+``replay``
+    Re-running a cell with the same seed reproduces the identical
+    chosen/duration arrays bit-for-bit.
+``workers-equivalence``
+    The cell grid of a scenario produces bit-identical results at
+    ``workers=1`` and ``workers=2`` through the evaluation harness.
+
+Regret is computed from the bank's noise-free true means (stationary
+corpora) or the fault injector's expected durations (faulted corpora),
+mirroring :mod:`repro.evaluate.regret` and
+:func:`repro.evaluate.faults_campaign.cumulative_fault_regret`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..distribution import LPBoundCalculator
+from ..evaluate.parallel import plan_cells, run_cells
+from ..faults import FaultInjector
+from ..geostat import ExaGeoStat
+from ..measure.bank import MeasurementBank
+from ..measure.noisemodel import for_mode
+from ..strategies import registered_names
+from ..workload import Workload
+from .platforms import FUZZ_TAG, FuzzConfig, FuzzedPlatform
+from .workloads import MSRApp
+
+#: Strategy families held to the configurable (tight) regret bound:
+#: bandit and GP strategies balance exploration against exploitation, so
+#: bounded regret is part of their contract.  Heuristics may converge to
+#: an arbitrarily bad local optimum on fuzzed landscapes (the paper's
+#: own Figure 6 point), so they only get the universal bound.  UCB-struct
+#: is deliberately *excluded* from the tight tier: its group-boundary
+#: prior is precisely what fuzzed landscapes break -- on a corpus
+#: calibration run it reached a 0.88 ratio on a platform whose optimum
+#: sits off every boundary (few arms, 50 iterations), which is expected
+#: prior-mismatch behaviour, not broken accounting.
+ADAPTIVE_BASES = (
+    "UCB",
+    "GP-UCB",
+    "GP-discontinuous",
+    "GP-EI",
+    "GP-discontinuous-windowed",
+)
+
+#: The universal ratio bound: regret normalized by worst-case regret
+#: cannot exceed 1 (small tolerance for float accumulation).
+UNIVERSAL_BOUND = 1.0 + 1e-9
+
+#: Default tight bound for adaptive strategies, calibrated over a
+#: 200-scenario mixed corpus (root seed 0, 106 cholesky + 94 msr, both
+#: stationary and faulted): the worst adaptive ratio observed was 0.478
+#: (UCB on fz0081); 0.65 adds ~36% headroom while still flagging any
+#: adaptive strategy that degenerates toward worst-case play.
+DEFAULT_REGRET_BOUND = 0.65
+
+CHECKS = ("regret-bound", "regret-monotone", "replay", "workers-equivalence")
+
+
+def base_strategy_name(name: str) -> str:
+    """The inner name of a ``Resilient(...)`` wrapper, else ``name``."""
+    if name.startswith("Resilient(") and name.endswith(")"):
+        return name[len("Resilient("):-1]
+    return name
+
+
+def regret_bound_for(name: str, regret_bound: float) -> float:
+    """The regret-ratio bound applied to one registered strategy."""
+    if base_strategy_name(name) in ADAPTIVE_BASES:
+        return float(regret_bound)
+    return UNIVERSAL_BOUND
+
+
+@dataclass(frozen=True)
+class PropertyConfig:
+    """Knobs of one property run.
+
+    ``iterations`` should match the corpus config's (fault-schedule
+    windows are sized to it at sampling time).
+    """
+
+    iterations: int = 50
+    regret_bound: float = DEFAULT_REGRET_BOUND
+    base_seed: int = 0
+    workers: int = 1
+    strategies: Optional[Tuple[str, ...]] = None
+    check_replay: bool = True
+    check_workers: bool = True
+    workers_check_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.regret_bound <= 0:
+            raise ValueError("regret_bound must be positive")
+        if self.workers < 1 or self.workers_check_every < 1:
+            raise ValueError("worker knobs must be >= 1")
+
+    def strategy_names(self) -> List[str]:
+        """Strategies under test (default: every registered one)."""
+        if self.strategies is not None:
+            return list(self.strategies)
+        return registered_names()
+
+
+@dataclass(frozen=True)
+class PropertyFailure:
+    """One violated invariant, with enough context to shrink/replay it."""
+
+    key: str
+    index: int
+    family: str
+    strategy: str
+    check: str
+    observed: float
+    bound: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        """Canonical JSON form (report + promoted goldens)."""
+        return {
+            "key": self.key,
+            "index": self.index,
+            "family": self.family,
+            "strategy": self.strategy,
+            "check": self.check,
+            "observed": round(float(self.observed), 9),
+            "bound": round(float(self.bound), 9),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ScenarioOutcome:
+    """Per-scenario property results."""
+
+    platform: FuzzedPlatform
+    ratios: Dict[str, float]
+    failures: List[PropertyFailure] = field(default_factory=list)
+    replay_checked: bool = False
+    workers_checked: bool = False
+
+
+@dataclass
+class PropertyReport:
+    """Outcome of a full corpus run."""
+
+    config: PropertyConfig
+    outcomes: List[ScenarioOutcome]
+
+    @property
+    def failures(self) -> List[PropertyFailure]:
+        """Every violated invariant across the corpus."""
+        return [f for o in self.outcomes for f in o.failures]
+
+    @property
+    def ok(self) -> bool:
+        """True when every invariant held."""
+        return not self.failures
+
+    def to_dict(self) -> dict:
+        """Canonical, worker-count-independent report payload."""
+        strategies: Dict[str, Dict[str, float]] = {}
+        for outcome in self.outcomes:
+            for name in sorted(outcome.ratios):
+                entry = strategies.setdefault(
+                    name,
+                    {"max_ratio": 0.0, "sum": 0.0, "scenarios": 0,
+                     "failures": 0},
+                )
+                ratio = outcome.ratios[name]
+                entry["max_ratio"] = max(entry["max_ratio"], ratio)
+                entry["sum"] += ratio
+                entry["scenarios"] += 1
+        for outcome in self.outcomes:
+            for failure in outcome.failures:
+                if failure.strategy in strategies:
+                    strategies[failure.strategy]["failures"] += 1
+        summary = {
+            name: {
+                "max_ratio": round(entry["max_ratio"], 6),
+                "mean_ratio": round(entry["sum"] / entry["scenarios"], 6),
+                "bound": round(
+                    regret_bound_for(name, self.config.regret_bound), 6
+                ),
+                "failures": int(entry["failures"]),
+            }
+            for name, entry in sorted(strategies.items())
+        }
+        return {
+            "version": 1,
+            "config": {
+                "iterations": self.config.iterations,
+                "regret_bound": self.config.regret_bound,
+                "base_seed": self.config.base_seed,
+                "strategies": sorted(self.config.strategy_names()),
+            },
+            "scenarios": [
+                {
+                    "key": o.platform.key,
+                    "index": o.platform.index,
+                    "family": o.platform.family,
+                    "label": o.platform.label,
+                    "nodes": o.platform.scenario.total_nodes,
+                    "schedule": (
+                        None if o.platform.schedule is None
+                        else o.platform.schedule.label
+                    ),
+                    "ratios": {
+                        name: round(o.ratios[name], 6)
+                        for name in sorted(o.ratios)
+                    },
+                    "replay_checked": o.replay_checked,
+                    "workers_checked": o.workers_checked,
+                }
+                for o in self.outcomes
+            ],
+            "strategies": summary,
+            "failures": [f.to_dict() for f in self.failures],
+            "ok": self.ok,
+        }
+
+
+# -- bank materialization -----------------------------------------------------------
+
+
+def build_bank(
+    platform: FuzzedPlatform, config: Optional[FuzzConfig] = None
+) -> MeasurementBank:
+    """Materialize the measurement bank of one fuzzed platform.
+
+    Cholesky platforms sweep a scaled-down ExaGeoStat (fuzzed tile count
+    and matrix order, LP bounds from the standard calculator); msr
+    platforms sweep the map/shuffle/reduce pipeline.  Deterministic
+    simulations are augmented with the mode's observation noise, drawn
+    from the platform's own seed stream -- the Section V methodology,
+    exactly as :func:`repro.measure.sweep.sweep_scenario` does for the
+    canned menu.
+    """
+    cfg = config if config is not None else FuzzConfig()
+    cluster = platform.build_cluster()
+    n = len(cluster)
+    lo = min(2, n)
+    if platform.family == "msr":
+        app = MSRApp(cluster, platform.msr)
+        actions = tuple(range(lo, n + 1))
+        true_means = {a: app.measure(a) for a in actions}
+        lp = {a: app.lp_bound(a) for a in actions}
+    else:
+        workload = Workload(
+            name=platform.scenario.workload,
+            t=platform.tiles,
+            nb=max(1, round(platform.matrix_order / platform.tiles)),
+        )
+        lo = max(lo, cluster.min_nodes_for(workload.matrix_bytes))
+        lo = min(lo, n)
+        app = ExaGeoStat(cluster, workload)
+        actions = tuple(range(lo, n + 1))
+        true_means = {a: app.measure(a) for a in actions}
+        lp_calc = LPBoundCalculator(cluster, workload)
+        lp = {a: lp_calc.iteration(a) for a in actions}
+    noise = for_mode(platform.scenario.mode)
+    rng = np.random.default_rng(
+        (platform.root_seed, FUZZ_TAG, platform.index, 1)
+    )
+    samples = {
+        a: noise.augment(true_means[a], cfg.augment, rng) for a in actions
+    }
+    return MeasurementBank(
+        label=platform.label,
+        actions=actions,
+        samples=samples,
+        lp=lp,
+        group_boundaries=cluster.group_boundaries,
+        true_means=true_means,
+    )
+
+
+# -- regret accounting --------------------------------------------------------------
+
+
+def regret_ratio(
+    chosen: Sequence[int],
+    means: Dict[int, float],
+    injector: Optional[FaultInjector] = None,
+) -> Tuple[float, float]:
+    """(cumulative regret / worst-case regret, min instantaneous regret).
+
+    Stationary: instantaneous regret is ``means[n] - best_mean`` and the
+    worst case is ``iterations * (worst_mean - best_mean)``.  Faulted:
+    both are computed per iteration from the injector's expected
+    durations against the clairvoyant-under-faults oracle.  The ratio is
+    0 on a flat landscape (zero worst-case regret).
+    """
+    actions = sorted(means)
+    if injector is None:
+        best = min(means[a] for a in actions)
+        worst = max(means[a] for a in actions)
+        inst = [means[int(n)] - best for n in chosen]
+        denom = len(chosen) * (worst - best)
+    else:
+        inst = []
+        denom = 0.0
+        for t, n in enumerate(chosen):
+            oracle = injector.oracle_duration(t, means)[1]
+            inst.append(
+                injector.expected_duration(t, int(n), means) - oracle
+            )
+            denom += max(
+                injector.expected_duration(t, a, means) for a in actions
+            ) - oracle
+    total = float(sum(inst))
+    lowest = float(min(inst)) if inst else 0.0
+    if denom <= 1e-12:
+        return 0.0, lowest
+    return total / denom, lowest
+
+
+# -- the corpus runner --------------------------------------------------------------
+
+
+def _identical(a, b) -> bool:
+    """Bit-exact equality of two cell results."""
+    return (
+        np.array_equal(a.chosen, b.chosen)
+        and np.array_equal(a.durations, b.durations)
+        and np.array_equal([a.total], [b.total])
+    )
+
+
+def check_platform(
+    platform: FuzzedPlatform,
+    config: PropertyConfig,
+    bank: Optional[MeasurementBank] = None,
+    check_workers: Optional[bool] = None,
+) -> ScenarioOutcome:
+    """Run every property over one platform.
+
+    ``bank`` lets callers (the shrinker, tests) reuse a materialized
+    bank; ``check_workers`` overrides the config's sampling of the
+    workers-equivalence check for this platform.
+    """
+    if bank is None:
+        bank = build_bank(platform, FuzzConfig(iterations=config.iterations))
+    injector = None
+    if platform.schedule is not None:
+        injector = FaultInjector(
+            platform.schedule, bank.actions, config.iterations
+        )
+    means = {int(a): float(v) for a, v in bank.true_means.items()}
+    names = config.strategy_names()
+    cells = plan_cells(
+        [platform.key], names, reps=1, include_baselines=False
+    )
+    banks = {platform.key: bank}
+    results = run_cells(
+        banks, cells, config.iterations,
+        base_seed=config.base_seed, workers=config.workers,
+        injector=injector,
+    )
+
+    outcome = ScenarioOutcome(platform=platform, ratios={})
+    for result in results:
+        name = result.cell.strategy
+        ratio, lowest = regret_ratio(result.chosen, means, injector)
+        outcome.ratios[name] = ratio
+        bound = regret_bound_for(name, config.regret_bound)
+        if ratio > bound:
+            outcome.failures.append(PropertyFailure(
+                key=platform.key, index=platform.index,
+                family=platform.family, strategy=name,
+                check="regret-bound", observed=ratio, bound=bound,
+                detail=f"cumulative regret ratio {ratio:.4f} > {bound:.4f}",
+            ))
+        if lowest < -1e-9:
+            outcome.failures.append(PropertyFailure(
+                key=platform.key, index=platform.index,
+                family=platform.family, strategy=name,
+                check="regret-monotone", observed=lowest, bound=0.0,
+                detail=(
+                    "negative instantaneous expected regret "
+                    f"{lowest:.3e} (cumulative regret not monotone)"
+                ),
+            ))
+
+    if config.check_replay and cells:
+        pick = platform.index % len(cells)
+        replayed = run_cells(
+            banks, [cells[pick]], config.iterations,
+            base_seed=config.base_seed, workers=1, injector=injector,
+        )[0]
+        outcome.replay_checked = True
+        if not _identical(replayed, results[pick]):
+            outcome.failures.append(PropertyFailure(
+                key=platform.key, index=platform.index,
+                family=platform.family, strategy=cells[pick].strategy,
+                check="replay", observed=float("nan"), bound=0.0,
+                detail="re-run with the same seed diverged bit-wise",
+            ))
+
+    do_workers = (
+        config.check_workers
+        and platform.index % config.workers_check_every == 0
+    )
+    if check_workers is not None:
+        do_workers = check_workers
+    if do_workers and cells:
+        fanned = run_cells(
+            banks, cells, config.iterations,
+            base_seed=config.base_seed, workers=2, injector=injector,
+        )
+        outcome.workers_checked = True
+        for serial, parallel in zip(results, fanned):
+            if not _identical(serial, parallel):
+                outcome.failures.append(PropertyFailure(
+                    key=platform.key, index=platform.index,
+                    family=platform.family,
+                    strategy=serial.cell.strategy,
+                    check="workers-equivalence", observed=float("nan"),
+                    bound=0.0,
+                    detail="workers=1 and workers=2 results diverged",
+                ))
+    return outcome
+
+
+def run_properties(
+    corpus: Sequence[FuzzedPlatform],
+    config: Optional[PropertyConfig] = None,
+    fuzz_config: Optional[FuzzConfig] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> PropertyReport:
+    """Run every property over every platform of a corpus."""
+    cfg = config if config is not None else PropertyConfig()
+    fz = fuzz_config if fuzz_config is not None else FuzzConfig(
+        iterations=cfg.iterations
+    )
+    outcomes = []
+    for done, platform in enumerate(corpus):
+        bank = build_bank(platform, fz)
+        outcomes.append(check_platform(platform, cfg, bank=bank))
+        if progress is not None:
+            progress(done + 1, len(corpus))
+    return PropertyReport(config=cfg, outcomes=outcomes)

@@ -1,0 +1,179 @@
+"""Tests for the seeded platform/workload sampler."""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz import (
+    FAMILIES,
+    FUZZ_TAG,
+    FuzzConfig,
+    FuzzedPlatform,
+    derive_platform_seed,
+    sample_corpus,
+    sample_platform,
+    validate_scenario,
+)
+from repro.platform import all_scenarios
+from repro.platform.scenarios import Scenario
+
+
+class TestDeterminism:
+    def test_same_coordinates_same_platform(self):
+        a = sample_platform(5, root_seed=42)
+        b = sample_platform(5, root_seed=42)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_index_different_platform(self):
+        assert sample_platform(0, 42) != sample_platform(1, 42)
+
+    def test_different_root_seed_different_platform(self):
+        assert sample_platform(3, 1) != sample_platform(3, 2)
+
+    def test_seed_derivation_is_tagged(self):
+        # The fuzz stream must be decorrelated from evaluation streams
+        # built over the same root seed: the tag sits in the tuple.
+        assert derive_platform_seed(7, 3) == (7, FUZZ_TAG, 3)
+
+    def test_corpus_is_reproducible(self):
+        a = sample_corpus(10, root_seed=9)
+        b = sample_corpus(10, root_seed=9)
+        assert [p.fingerprint() for p in a] == [p.fingerprint() for p in b]
+
+    def test_family_filter_preserves_identity(self):
+        # A platform seen through a filtered corpus is bit-identical to
+        # the same index in the unfiltered one.
+        full = {p.index: p for p in sample_corpus(20, root_seed=3)}
+        for p in sample_corpus(6, root_seed=3, families=("msr",)):
+            assert p.family == "msr"
+            if p.index in full:
+                assert p == full[p.index]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            sample_corpus(4, families=("bogus",))
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError):
+            sample_corpus(0)
+
+
+class TestSampledSpace:
+    def test_corpus_within_config_bounds(self):
+        cfg = FuzzConfig()
+        for p in sample_corpus(24, root_seed=1, config=cfg):
+            n = p.scenario.total_nodes
+            # Anchor jitter can add one node beyond the sampled budget.
+            assert cfg.min_nodes - 1 <= n <= cfg.max_nodes + 1
+            assert 1 <= len(p.scenario.counts) <= 3
+            for _, f in p.speed_factors:
+                assert cfg.speed_ratio[0] <= f <= cfg.speed_ratio[1]
+            assert (
+                cfg.bandwidth_ratio[0]
+                <= p.bandwidth_factor
+                <= cfg.bandwidth_ratio[1]
+            )
+            if p.family == "cholesky":
+                assert cfg.tiles[0] <= p.tiles <= cfg.tiles[1]
+                assert p.msr is None
+            else:
+                assert p.msr is not None
+                assert p.msr.reduces <= n
+
+    def test_both_families_and_faults_appear(self):
+        corpus = sample_corpus(40, root_seed=0)
+        assert {p.family for p in corpus} == set(FAMILIES)
+        assert any(p.schedule is not None for p in corpus)
+        assert any(p.schedule is None for p in corpus)
+
+    def test_every_platform_builds_its_cluster(self):
+        for p in sample_corpus(12, root_seed=2):
+            cluster = p.build_cluster()
+            assert len(cluster) == p.scenario.total_nodes
+            if p.schedule is not None:
+                # Sampled schedules fit their pool by construction.
+                p.schedule.validate_for(len(cluster), 2)
+
+    def test_speed_factors_scale_the_node_types(self):
+        p = sample_platform(0, root_seed=6)
+        cluster = p.build_cluster()
+        from repro.platform.catalog import node_type
+
+        for group in cluster.groups:
+            cat = group.node_type.category
+            base = node_type(p.scenario.site, cat)
+            f = p.speed_factor(cat)
+            assert group.node_type.cpu_gflops == pytest.approx(
+                base.cpu_gflops * f
+            )
+            assert group.node_type.nic_gbps == pytest.approx(
+                base.nic_gbps * p.bandwidth_factor
+            )
+
+    def test_anchored_platforms_use_table2_sites(self):
+        # Anchors are picked by index through the locked all_scenarios()
+        # ordering; their sites must come from the table.
+        sites = {s.site for s in all_scenarios()}
+        for p in sample_corpus(30, root_seed=4):
+            assert p.scenario.site in sites
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_is_identity(self):
+        for p in sample_corpus(8, root_seed=11):
+            assert FuzzedPlatform.from_dict(p.to_dict()) == p
+
+    def test_from_dict_rejects_wrong_schema(self):
+        payload = sample_platform(0).to_dict()
+        payload["schema"] = 99
+        with pytest.raises(ValueError):
+            FuzzedPlatform.from_dict(payload)
+
+    def test_fingerprint_tracks_content(self):
+        p = sample_platform(1, root_seed=5)
+        q = dataclasses.replace(p, tiles=p.tiles + 1)
+        assert p.fingerprint() != q.fingerprint()
+
+
+class TestValidation:
+    def _scenario(self, **overrides):
+        base = dict(key="fz0000", site="G5K",
+                    counts=(("L", 2), ("S", 4)), workload="101",
+                    mode="Simul")
+        base.update(overrides)
+        return Scenario(**base)
+
+    def test_valid_scenario_passes(self):
+        validate_scenario(self._scenario())
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scenario(self._scenario(site="Mars"))
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scenario(self._scenario(counts=()))
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scenario(self._scenario(counts=(("L", 0),)))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scenario(self._scenario(workload="999"))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            validate_scenario(self._scenario(mode="Imagined"))
+
+    def test_config_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(min_nodes=10, max_nodes=4)
+        with pytest.raises(ValueError):
+            FuzzConfig(min_groups=0)
+        with pytest.raises(ValueError):
+            FuzzConfig(fault_prob=1.5)
+        with pytest.raises(ValueError):
+            FuzzConfig(iterations=5)

@@ -92,6 +92,97 @@ class TestActionSpaceContract:
             space14.contract(1)
 
 
+class TestActionSpaceProperties:
+    """Property-style checks over randomized (seeded) spaces.
+
+    The fault-resilience layer feeds ``contract``/``clip`` arbitrary
+    combinations (crashes happen at any point of any space), so the
+    invariants are checked over a seeded sample of spaces rather than a
+    few hand-picked ones.
+    """
+
+    def _random_space(self, rng):
+        import numpy as np
+
+        n = int(rng.integers(2, 30))
+        lo = int(rng.integers(1, n))
+        # Random subset of lo..n, always keeping lo and n.
+        members = {lo, n} | {
+            int(a) for a in rng.choice(
+                np.arange(lo, n + 1),
+                size=int(rng.integers(0, n - lo + 1)),
+                replace=False,
+            )
+        }
+        return ActionSpace(actions=tuple(sorted(members)), n_total=n)
+
+    def test_clip_is_nearest_member_preferring_smaller(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        for _ in range(50):
+            space = self._random_space(rng)
+            for n in range(0, space.n_total + 3):
+                clipped = space.clip(n)
+                assert clipped in space.actions
+                best = min(abs(a - n) for a in space.actions)
+                assert abs(clipped - n) == best
+                # Equidistant ties resolve to the smaller count.
+                ties = [a for a in space.actions if abs(a - n) == best]
+                assert clipped == min(ties)
+
+    def test_contract_invariants(self):
+        import numpy as np
+
+        rng = np.random.default_rng(4321)
+        for _ in range(50):
+            space = self._random_space(rng)
+            max_n = int(rng.integers(1, space.n_total + 3))
+            if max_n < space.lo:
+                with pytest.raises(ValueError):
+                    space.contract(max_n)
+                continue
+            sub = space.contract(max_n)
+            assert sub.actions == tuple(
+                a for a in space.actions if a <= max_n
+            )
+            assert sub.n_total == sub.actions[-1]
+            # Contraction is idempotent and clip never escapes it.
+            assert sub.contract(max_n) is sub
+            assert sub.clip(space.n_total) in sub.actions
+
+    def test_contract_to_single_arm_keeps_space_usable(self, space14):
+        sub = space14.contract(space14.lo)
+        assert sub.actions == (space14.lo,)
+        # Every query collapses onto the surviving arm.
+        for n in (0, space14.lo, space14.n_total, 99):
+            assert sub.clip(n) == space14.lo
+
+    def test_contract_below_pending_proposal_reclips(self):
+        # A crash may land between propose() and observe(): whatever was
+        # pending must clip into the contracted space, for every
+        # (pending, max_n) combination of a representative space.
+        space = ActionSpace(actions=tuple(range(2, 15)), n_total=14,
+                            group_boundaries=(2, 8, 14))
+        for pending in space.actions:
+            for max_n in range(space.lo, space.n_total + 1):
+                sub = space.contract(max_n)
+                assert sub.clip(pending) in sub.actions
+
+    def test_dc_degenerate_space_fallback(self):
+        # DC on a single-action space exhausts its interval before
+        # measuring anything: it must fall back to the only action (via
+        # n_total) instead of raising, and keep answering after
+        # observations arrive.
+        from repro.strategies import make_strategy
+
+        space = ActionSpace(actions=(3,), n_total=3)
+        dc = make_strategy("DC", space, seed=0)
+        assert dc.propose() == 3
+        dc.observe(3, 5.0)
+        assert dc.propose() == 3
+
+
 class TestStrategyBookkeeping:
     def test_all_nodes_always_n(self, space14):
         s = AllNodesStrategy(space14)
