@@ -1,0 +1,62 @@
+"""Dev check: ScenarioBatch rebind path vs naive reference pipeline."""
+import sys
+import time
+
+from repro.geostat.phases import IterationPlan, build_iteration_graph
+from repro.measure.batch import ScenarioBatch
+from repro.measure.sweep import scenario_actions
+from repro.platform import get_scenario
+from repro.runtime import FastSimulator, PerfModel, Simulator
+from repro.workload import Workload
+
+
+def main():
+    bad = 0
+    for key in sys.argv[1:] or ["b"]:
+        sc = get_scenario(key)
+        cluster = sc.build_cluster()
+        wl = Workload.from_name(sc.workload)
+        pm = PerfModel()
+        actions = scenario_actions(sc, wl)
+        t0 = time.perf_counter()
+        batch = ScenarioBatch(cluster, wl, pm)
+        t_init = time.perf_counter() - t0
+        t_ref = t_fast = 0.0
+        for idx, n in enumerate(actions):
+            for n_gen in (len(cluster), n):
+                t0 = time.perf_counter()
+                g = build_iteration_graph(
+                    cluster, wl, IterationPlan(n_fact=n, n_gen=n_gen))
+                ref = Simulator(cluster, pm).run(g)
+                t_ref += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                fast = batch.simulate(IterationPlan(n_fact=n, n_gen=n_gen))
+                t_fast += time.perf_counter() - t0
+                if ref.makespan != fast.makespan or \
+                        ref.transfer_count != fast.transfer_count or \
+                        ref.comm_bytes != fast.comm_bytes or \
+                        ref.comm_time != fast.comm_time or \
+                        ref.phase_spans != fast.phase_spans:
+                    bad += 1
+                    print(f"  MISMATCH {key} n={n} g={n_gen}: "
+                          f"{ref.makespan} vs {fast.makespan}")
+                # Full record equality on a few configs.
+                if idx % max(1, len(actions) // 3) == 0:
+                    g2 = build_iteration_graph(
+                        cluster, wl, IterationPlan(n_fact=n, n_gen=n_gen))
+                    r2 = Simulator(cluster, pm, trace=True).run(g2)
+                    f2 = FastSimulator(cluster, pm, trace=True).run_plan(
+                        batch.plan(n, n_gen))
+                    if r2.task_records != f2.task_records or \
+                            r2.transfer_records != f2.transfer_records:
+                        bad += 1
+                        print(f"  RECORD MISMATCH {key} n={n} g={n_gen}")
+        print(f"{key}: {len(actions)} actions  init {t_init:.3f}s  "
+              f"ref {t_ref:.2f}s  fast {t_fast:.2f}s  "
+              f"x{t_ref / t_fast:.2f}")
+    print("FAILED" if bad else "ALL OK")
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Dev aid: approximate line coverage of repro.runtime under tests/runtime.
+
+Stdlib-only stand-in for pytest-cov (absent from the local container):
+a settrace hook records executed lines in src/repro/runtime/*.py while
+pytest runs, and executable lines come from compiled code objects.
+Usage: PYTHONPATH=src python scripts/dev_cov_runtime.py [pytest args...]
+"""
+
+import os
+import sys
+import threading
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TARGET = os.path.join(ROOT, "src", "repro", "runtime") + os.sep
+
+hit = {}
+
+
+def tracer(frame, event, arg):
+    fn = frame.f_code.co_filename
+    if not fn.startswith(TARGET):
+        return None
+    if event == "line":
+        hit.setdefault(fn, set()).add(frame.f_lineno)
+    return tracer
+
+
+def executable_lines(path):
+    with open(path) as fh:
+        code = compile(fh.read(), path, "exec")
+    lines = set()
+    stack = [code]
+    while stack:
+        co = stack.pop()
+        for _, _, ln in co.co_lines():
+            if ln is not None:
+                lines.add(ln)
+        for const in co.co_consts:
+            if hasattr(const, "co_lines"):
+                stack.append(const)
+    return lines
+
+
+def main():
+    import pytest
+
+    sys.settrace(tracer)
+    threading.settrace(tracer)
+    rc = pytest.main(sys.argv[1:] or ["-q", "tests/runtime"])
+    sys.settrace(None)
+
+    total_exec = total_hit = 0
+    print()
+    for name in sorted(os.listdir(TARGET)):
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(TARGET, name)
+        ex = executable_lines(path)
+        got = hit.get(path, set()) & ex
+        total_exec += len(ex)
+        total_hit += len(got)
+        pct = 100.0 * len(got) / len(ex) if ex else 100.0
+        missing = sorted(ex - got)
+        short = ",".join(map(str, missing[:20]))
+        print(f"{name:20s} {pct:6.1f}%  ({len(got)}/{len(ex)})"
+              + (f"  missing: {short}{'...' if len(missing) > 20 else ''}"
+                 if missing else ""))
+    print(f"{'TOTAL':20s} {100.0 * total_hit / total_exec:6.1f}%"
+          f"  ({total_hit}/{total_exec})")
+    sys.exit(rc)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Ad-hoc differential check: FastSimulator vs reference Simulator.
+
+Dev aid while iterating on simfast; the committed suite lives in
+tests/runtime/differential/.
+"""
+import sys
+import time
+
+from repro.fuzz.workloads import MSRApp, MapShuffleReduceWorkload, build_msr_graph, msr_perfmodel
+from repro.geostat.phases import IterationPlan, build_iteration_graph
+from repro.platform import get_scenario
+from repro.runtime import FastSimulator, PerfModel, Simulator
+from repro.workload import Workload
+
+
+def compare(tag, graph, cluster, pm, policy="priority"):
+    ref = Simulator(cluster, pm, trace=True, policy=policy).run(graph)
+    fast_sim = FastSimulator(cluster, pm, trace=True, policy=policy)
+    fast = fast_sim.run(graph)
+    ok = True
+    for fieldname in ("makespan", "task_count", "transfer_count",
+                      "comm_bytes", "comm_time", "phase_spans"):
+        a, b = getattr(ref, fieldname), getattr(fast, fieldname)
+        if a != b:
+            ok = False
+            print(f"  MISMATCH {tag} {fieldname}: ref={a!r} fast={b!r}")
+    if ref.task_records != fast.task_records:
+        ok = False
+        n = sum(1 for x, y in zip(ref.task_records, fast.task_records) if x != y)
+        print(f"  MISMATCH {tag} task_records ({n} differing of {len(ref.task_records)}/{len(fast.task_records)})")
+        for i, (x, y) in enumerate(zip(ref.task_records, fast.task_records)):
+            if x != y:
+                print(f"    first diff at {i}:\n      ref {x}\n      fst {y}")
+                break
+    if ref.transfer_records != fast.transfer_records:
+        ok = False
+        print(f"  MISMATCH {tag} transfer_records ({len(ref.transfer_records)} vs {len(fast.transfer_records)})")
+        for i, (x, y) in enumerate(zip(ref.transfer_records, fast.transfer_records)):
+            if x != y:
+                print(f"    first diff at {i}:\n      ref {x}\n      fst {y}")
+                break
+    s = fast_sim.last_run_stats
+    print(f"{'OK ' if ok else 'BAD'} {tag}: tasks={ref.task_count} waves={s['waves']} wave_tasks={s['wave_tasks']} vec={s['vector_tasks']}")
+    return ok
+
+
+def main():
+    bad = 0
+    for key in sys.argv[1:] or ["b"]:
+        if key.startswith("msr"):
+            sc = get_scenario("b")
+            cluster = sc.build_cluster()
+            wl = MapShuffleReduceWorkload(maps=120, reduces=14, record_mb=64.0,
+                                          map_flops=5e10, reduce_flops=4e11, skew=3.0)
+            pm = msr_perfmodel()
+            for n in (1, 2, min(6, len(cluster))):
+                g = build_msr_graph(cluster, wl, n)
+                bad += not compare(f"msr n={n}", g, cluster, pm)
+        else:
+            sc = get_scenario(key)
+            cluster = sc.build_cluster()
+            wl = Workload.from_name(sc.workload)
+            pm = PerfModel()
+            nmax = len(cluster)
+            for n_fact in sorted({1, 2, 3, nmax // 2, nmax}):
+                if n_fact < 1:
+                    continue
+                g = build_iteration_graph(cluster, wl, IterationPlan(n_fact=n_fact, n_gen=nmax))
+                bad += not compare(f"{key} n_fact={n_fact}", g, cluster, pm)
+    print("FAILED" if bad else "ALL OK")
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    main()

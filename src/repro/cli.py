@@ -210,6 +210,7 @@ def _cmd_perf_record(args) -> None:
         n_fact=args.n_fact or None,
         n_gen=args.n_gen or None,
         bench_path=args.bench or None,
+        simfast_path=args.simfast_bench or None,
     )
     label = args.label or args.scenario
     ledger = PerfLedger(args.ledger)
@@ -244,6 +245,7 @@ def _cmd_perf_check(args) -> None:
         n_fact=args.n_fact or None,
         n_gen=args.n_gen or None,
         bench_path=args.bench or None,
+        simfast_path=args.simfast_bench or None,
     )
     label = args.label or args.scenario
     report = check_against_ledger(
@@ -604,6 +606,9 @@ def _cmd_bench(args) -> None:
         print(f"error: unknown scenario(s) {unknown}; valid keys: "
               f"{sorted(SCENARIOS)} or 'all'", file=sys.stderr)
         sys.exit(2)
+    if args.simfast:
+        _cmd_bench_simfast(args, keys)
+        return
     bad = [s for s in args.strategies if s not in registered_names()]
     if bad:
         print(f"error: unknown strategy(s) {bad}; registered: "
@@ -634,6 +639,46 @@ def _cmd_bench(args) -> None:
     print(f"  parallel : {report['parallel_seconds']:.2f} s "
           f"(speedup {report['speedup']:.2f}x, warm cache hit rate "
           f"{cache['hit_rate']:.0%})")
+    print(f"  identical: {report['identical']}")
+    print(f"  report   : {out}")
+    if root is not None:
+        print(f"  root copy: {root}")
+
+
+def _cmd_bench_simfast(args, keys) -> None:
+    """``repro bench --simfast``: the batched fast-engine section."""
+    from pathlib import Path
+
+    from .evaluate.bench_simfast import (
+        DEFAULT_OUT,
+        ROOT_OUT,
+        run_simfast_benchmark,
+    )
+
+    if args.reps < 1:
+        print(f"error: --reps must be >= 1, got {args.reps}",
+              file=sys.stderr)
+        sys.exit(2)
+    out = Path(args.out) if args.out else DEFAULT_OUT
+    root = Path(args.root_out) if args.root_out else None
+    if root is not None and root.name == "BENCH_harness.json":
+        root = ROOT_OUT  # the harness default does not fit this section
+    report = run_simfast_benchmark(
+        scenario_keys=keys,
+        reps=args.reps,
+        workers=args.workers,
+        out_path=out,
+        root_path=root,
+        progress=True,
+    )
+    print(f"simfast bench: {len(keys)} scenario(s), reps={args.reps}, "
+          f"workers={args.workers}")
+    for key, row in report["scenarios"].items():
+        print(f"  {key}: {row['configs']} configs  "
+              f"serial {row['serial_seconds']:.2f} s  "
+              f"batched {row['batched_seconds']:.2f} s  "
+              f"x{row['speedup']:.2f}")
+    print(f"  geomean  : {report['geomean_speedup']:.2f}x")
     print(f"  identical: {report['identical']}")
     print(f"  report   : {out}")
     if root is not None:
@@ -769,6 +814,10 @@ def build_parser() -> argparse.ArgumentParser:
         pp.add_argument("--bench", default="",
                         help="BENCH_harness.json to merge (informational "
                              "bench.* metrics)")
+        pp.add_argument("--simfast-bench", default="",
+                        help="BENCH_simfast.json to merge (informational "
+                             "bench.simfast_* metrics plus the gated "
+                             "simfast.mismatches differential verdict)")
 
     pp = perf_sub.add_parser(
         "record", help="append the current run's aggregates to the ledger"
@@ -931,6 +980,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "('' disables)")
     p.add_argument("--no-spill", action="store_true",
                    help="do not warm/persist the duration cache on disk")
+    p.add_argument("--simfast", action="store_true",
+                   help="benchmark the plan-batched fast simulator instead "
+                        "(BENCH_simfast.json; --strategies/--iterations are "
+                        "ignored, --root-out defaults to BENCH_simfast.json)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("lint", help="static analysis (determinism, contracts)")

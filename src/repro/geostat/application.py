@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..platform.cluster import Cluster
-from ..runtime import PerfModel, SimulationResult, Simulator
+from ..runtime import PerfModel, SimulationResult, simulator_factory
 from ..workload import Workload
 from .likelihood import golden_section_range_search
 from .phases import IterationPlan, build_iteration_graph
@@ -99,7 +99,9 @@ class ExaGeoStat:
     ) -> None:
         self.cluster = cluster
         self.workload = workload
-        self.simulator = Simulator(cluster, perfmodel)
+        # The engine is the reference Simulator unless REPRO_SIMFAST
+        # opts into the bit-identical fast path (simulator_factory).
+        self.simulator = simulator_factory()(cluster, perfmodel)
         self.noise = noise
         self.rng = np.random.default_rng(seed)
         self._duration_cache: Dict[Tuple[int, int], float] = {}

@@ -65,21 +65,20 @@ def submit_generation(
     ]
 
 
-def build_iteration_graph(
+def build_iteration_parts(
     cluster: Cluster,
     workload: Workload,
     plan: IterationPlan,
     resolution: Optional[int] = None,
     precision_policy=None,
-) -> TaskGraph:
-    """Build the full five-phase task graph for one iteration.
+):
+    """Like :func:`build_iteration_graph`, but also return the data parts.
 
-    ``plan.n_fact`` / ``plan.n_gen`` select how many of the fastest nodes
-    each phase uses.  ``precision_policy`` is an optional
-    :class:`~repro.linalg.precision.PrecisionPolicy`: off-band tiles are
-    stored in single precision (half the bytes) and their factorization
-    kernels run at twice the rate -- the paper's mixed-precision future
-    work.
+    Returns ``(graph, tiles, rhs, scratch)`` -- the tile grid, the solve
+    right-hand-side handles and the reduction scratch handle.  The
+    plan-batched sweep path (:mod:`repro.measure.batch`) uses these to
+    re-home data for other ``(n_fact, n_gen)`` choices without
+    resubmitting the graph.
     """
     n = len(cluster)
     if not (1 <= plan.n_fact <= n and 1 <= plan.n_gen <= n):
@@ -117,4 +116,26 @@ def build_iteration_graph(
     submit_determinant(graph, tiles, scratch)
     submit_dot(graph, rhs, workload.nb, scratch)
 
-    return graph
+    return graph, tiles, rhs, scratch
+
+
+def build_iteration_graph(
+    cluster: Cluster,
+    workload: Workload,
+    plan: IterationPlan,
+    resolution: Optional[int] = None,
+    precision_policy=None,
+) -> TaskGraph:
+    """Build the full five-phase task graph for one iteration.
+
+    ``plan.n_fact`` / ``plan.n_gen`` select how many of the fastest nodes
+    each phase uses.  ``precision_policy`` is an optional
+    :class:`~repro.linalg.precision.PrecisionPolicy`: off-band tiles are
+    stored in single precision (half the bytes) and their factorization
+    kernels run at twice the rate -- the paper's mixed-precision future
+    work.
+    """
+    return build_iteration_parts(
+        cluster, workload, plan, resolution=resolution,
+        precision_policy=precision_policy,
+    )[0]

@@ -160,7 +160,17 @@ def sweep_scenario(
                         end="", file=sys.stderr, flush=True,
                     )
     elif pending:
-        app = ExaGeoStat(cluster, workload)
+        from ..runtime.simfast import FastSimulator, simulator_factory
+
+        if simulator_factory() is FastSimulator:
+            # Plan-batched one-pass sweep: same makespans bit for bit,
+            # with the graph build + template compile shared across
+            # every pending configuration (see repro.measure.batch).
+            from .batch import ScenarioBatch
+
+            app = ScenarioBatch(cluster, workload)
+        else:
+            app = ExaGeoStat(cluster, workload)
         for i, n in enumerate(pending):
             duration = app.measure(n, len(cluster))
             rig = (

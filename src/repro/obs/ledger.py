@@ -52,6 +52,10 @@ GATED_METRICS = (
     "critical_path_s",
     "mean_idleness",
     "comm_time_s",
+    # Fast-engine differential gate: 0.0 while BENCH_simfast.json says
+    # `identical: true`; any mismatch is an unbounded relative increase
+    # over a zero baseline, so it always trips.
+    "simfast.mismatches",
 )
 
 #: Prefixes of additional gated metric families.
@@ -245,17 +249,54 @@ def merge_bench_metrics(
     return out
 
 
+def merge_simfast_metrics(
+    metrics: Dict[str, float], bench_path: Union[str, Path]
+) -> Dict[str, float]:
+    """Fold ``BENCH_simfast.json`` into a metric dict.
+
+    The wall-clock aggregates are informational ``bench.*`` keys like
+    the harness bench's; the differential verdict becomes the **gated**
+    ``simfast.mismatches`` (0.0 when every batched makespan matched the
+    reference bit for bit).  Missing or unreadable reports merge
+    nothing.
+    """
+    path = Path(bench_path)
+    if not path.exists():
+        return dict(metrics)
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return dict(metrics)
+    out = dict(metrics)
+    if isinstance(report.get("geomean_speedup"), (int, float)):
+        out["bench.simfast_geomean_speedup"] = float(
+            report["geomean_speedup"]
+        )
+    scenarios = report.get("scenarios")
+    if isinstance(scenarios, dict):
+        for key, entry in scenarios.items():
+            if isinstance(entry, dict) and isinstance(
+                entry.get("speedup"), (int, float)
+            ):
+                out[f"bench.simfast_speedup.{key}"] = float(entry["speedup"])
+    if isinstance(report.get("identical"), bool):
+        out["simfast.mismatches"] = 0.0 if report["identical"] else 1.0
+    return out
+
+
 def collect_metrics(
     scenario_key: str,
     n_fact: Optional[int] = None,
     n_gen: Optional[int] = None,
     bench_path: Optional[Union[str, Path]] = None,
+    simfast_path: Optional[Union[str, Path]] = None,
 ):
     """Compute the current run's ledger metrics for one scenario.
 
     Returns ``(metrics, config)``: the flattened timeline analytics of a
     deterministic traced iteration, optionally merged with bench
-    aggregates.
+    aggregates (``bench_path``) and the fast-engine differential report
+    (``simfast_path``).
     """
     from .timeline import analyze, flat_metrics, simulate_timeline
 
@@ -265,6 +306,8 @@ def collect_metrics(
     metrics = flat_metrics(analyze(result, cluster, graph))
     if bench_path is not None:
         metrics = merge_bench_metrics(metrics, bench_path)
+    if simfast_path is not None:
+        metrics = merge_simfast_metrics(metrics, simfast_path)
     return metrics, cfg
 
 

@@ -9,6 +9,7 @@ methodology (Section V).
 from .dag import TaskGraph, chain
 from .data import DataHandle, DataRegistry
 from .perfmodel import CPU, DEFAULT_EFFICIENCY, GPU, PerfModel
+from .simfast import FastSimulator, GraphPlan, compile_plan, simulator_factory
 from .simulator import SimulationResult, Simulator, TaskRecord, TransferRecord
 from .task import Placement, Task
 from .trace import (
@@ -23,7 +24,9 @@ __all__ = [
     "DEFAULT_EFFICIENCY",
     "DataHandle",
     "DataRegistry",
+    "FastSimulator",
     "GPU",
+    "GraphPlan",
     "Placement",
     "PerfModel",
     "SimulationResult",
@@ -34,6 +37,8 @@ __all__ = [
     "TransferRecord",
     "UtilizationTimeline",
     "chain",
+    "compile_plan",
+    "simulator_factory",
     "phase_rows",
     "render_ascii",
     "utilization_timeline",

@@ -152,3 +152,39 @@ class TestWallClockAllowlist:
         assert WALL_CLOCK_ALLOWLIST == {
             self.ALLOWED: frozenset({"WallClock.wall_time"}),
         }
+
+
+class TestFastEngineIdioms:
+    """Fixture pair for the wave-batched fast engine's RNG discipline.
+
+    The fast path replays the reference's jitter stream, so the one
+    thing DET001 must keep out of it is hidden global RNG state: the
+    positive fixture is the tempting-but-wrong way to jitter a batched
+    plan, the negative one is the engine's actual idiom (a per-run
+    seeded Generator plus monotonic timing in the bench layer).
+    """
+
+    MODULE = "src/repro/runtime/simfast.py"
+
+    def test_global_rng_jitter_in_engine_flagged(self):
+        out = findings(self.MODULE, """
+            import numpy as np
+
+            def run_plan(plan, jitter_sd):
+                np.random.seed(plan.seed)
+                return np.random.normal(0.0, jitter_sd, plan.n_tasks)
+        """)
+        assert [f.rule for f in out] == ["DET001", "DET001"]
+
+    def test_seeded_generator_and_perf_counter_ok(self):
+        assert not findings(self.MODULE, """
+            import time
+
+            import numpy as np
+
+            def run_plan(plan, jitter_sd, seed):
+                t0 = time.perf_counter()
+                rng = np.random.default_rng(seed)
+                noise = rng.normal(0.0, jitter_sd, plan.n_tasks)
+                return noise, time.perf_counter() - t0
+        """)

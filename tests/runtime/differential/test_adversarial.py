@@ -1,0 +1,207 @@
+"""Hand-built adversarial DAGs aimed at the fast path's weak points.
+
+The wave engine's correctness argument rests on a handful of guards
+(uniform-wave detection, the two-hop cross-node horizon, NIC lane
+accounting, trigger-rank tie-breaking).  Each test here constructs a
+graph whose *only* purpose is to stress one guard and then demands bit
+identity through the package oracle.
+"""
+
+from repro.platform import Cluster, NetworkModel, NodeType
+from repro.runtime import DataRegistry, PerfModel, Placement, TaskGraph
+
+from .oracle import assert_equivalent
+
+UNIT = NodeType(
+    name="unit", site="SD", category="S", cpu_desc="", gpu_desc="",
+    cpu_gflops=1.0, gpus=0, gpu_gflops=0.0, nic_gbps=8.0, memory_gb=1.0,
+    cpu_slots=2,
+)
+
+GPU_NODE = NodeType(
+    name="gnode", site="SD", category="L", cpu_desc="", gpu_desc="g",
+    cpu_gflops=1.0, gpus=1, gpu_gflops=10.0, nic_gbps=8.0, memory_gb=1.0,
+    cpu_slots=1,
+)
+
+PM = PerfModel(
+    efficiency={
+        ("t", "cpu"): 1.0, ("t", "gpu"): 1.0,
+        ("slow", "cpu"): 0.5,
+        ("c", "cpu"): 1.0,
+    },
+    overhead_s=0.0,
+)
+
+NET = NetworkModel(latency_s=0.0, backbone_gbps=None, efficiency=1.0)
+
+
+def make_cluster(n_unit=2, n_gpu=0, streams=4):
+    net = NetworkModel(
+        latency_s=0.0, backbone_gbps=None, efficiency=1.0, streams=streams
+    )
+    comp = []
+    if n_gpu:
+        comp.append((GPU_NODE, n_gpu))
+    if n_unit:
+        comp.append((UNIT, n_unit))
+    return Cluster(comp, network=net)
+
+
+def test_cross_node_chain():
+    """A deep chain ping-ponging between nodes: every edge is a push.
+
+    Defeats wave formation entirely (each task's predecessor lives on
+    the other node) and stresses the eager-push bookkeeping plus the
+    horizon's cross-capability tracking.
+    """
+    cluster = make_cluster(2)
+    g = TaskGraph(DataRegistry())
+    prev = None
+    for i in range(40):
+        h = g.registry.register(f"h{i}", 16 << 20, home=i % 2)
+        reads = [prev] if prev is not None else []
+        g.submit("t", "p", 1e9, reads=reads, writes=[h])
+        prev = h
+    assert_equivalent(g, cluster, PM)
+
+
+def test_cross_node_chains_interleaved_with_wave():
+    """A homogeneous wave on node 0 racing a cross-node chain.
+
+    The chain keeps inserting work into the draining node from outside;
+    the two-hop horizon must stop the wave before any foreign
+    assignment could land inside it.
+    """
+    cluster = make_cluster(2)
+    g = TaskGraph(DataRegistry())
+    for i in range(64):
+        h = g.registry.register(f"w{i}", 0, home=0)
+        g.submit("t", "p", 1e9, writes=[h])
+    prev = None
+    for i in range(10):
+        h = g.registry.register(f"c{i}", 4 << 20, home=i % 2)
+        reads = [prev] if prev is not None else []
+        g.submit("t", "p", 3e8, reads=reads, writes=[h])
+        prev = h
+    _, stats = assert_equivalent(g, cluster, PM)
+    assert stats["wave_tasks"] >= 0  # engagement depends on the horizon
+
+
+def test_nic_contention_single_stream():
+    """Many pulls from one producer through a single-stream NIC.
+
+    The reference serializes sends on the producer's NIC lane; the fast
+    path's lane accounting must produce the same transfer schedule.
+    """
+    cluster = make_cluster(8, streams=1)
+    g = TaskGraph(DataRegistry())
+    src = g.registry.register("src", 1 << 30, home=0)
+    g.submit("t", "p", 1e9, writes=[src])
+    for i in range(1, 8):
+        out = g.registry.register(f"o{i}", 0, home=i)
+        g.submit("t", "p", 1e9, reads=[src], writes=[out])
+    assert_equivalent(g, cluster, PM)
+
+
+def test_nic_contention_fan_in():
+    """Reverse direction: one consumer pulls from seven producers."""
+    cluster = make_cluster(8, streams=2)
+    g = TaskGraph(DataRegistry())
+    parts = []
+    for i in range(1, 8):
+        h = g.registry.register(f"p{i}", 256 << 20, home=i)
+        g.submit("t", "p", 1e9, writes=[h])
+        parts.append(h)
+    out = g.registry.register("out", 0, home=0)
+    g.submit("t", "p", 1e9, reads=parts, writes=[out])
+    assert_equivalent(g, cluster, PM)
+
+
+def test_priority_inversion():
+    """High priority assigned to the *bottom* of a chain.
+
+    Ready-queue ordering must not let the late high-priority tasks
+    overtake anything they depend on, and the fast path must pop the
+    same victim at every tie.
+    """
+    cluster = make_cluster(1)
+    g = TaskGraph(DataRegistry())
+    chain_h = g.registry.register("chain", 0, home=0)
+    for depth in range(6):
+        g.submit(
+            "t", "p", 1e9,
+            reads=[chain_h] if depth else [],
+            writes=[chain_h],
+            priority=depth,  # deeper tasks get *higher* priority
+        )
+    for i in range(6):
+        h = g.registry.register(f"f{i}", 0, home=0)
+        g.submit("t", "p", 1e9, writes=[h], priority=-i)
+    assert_equivalent(g, cluster, PM)
+
+
+def test_priority_ties_break_identically():
+    """Dozens of equal-priority ready tasks: pure tie-break territory."""
+    cluster = make_cluster(2)
+    g = TaskGraph(DataRegistry())
+    for i in range(50):
+        h = g.registry.register(f"h{i}", 0, home=i % 2)
+        g.submit("t", "p", 1e9, writes=[h], priority=7)
+    assert_equivalent(g, cluster, PM)
+
+
+def test_broken_wave_heterogeneous_member():
+    """A single slow task in the middle of an otherwise uniform wave.
+
+    The wave detector must either exclude it or fall back; both engines
+    must agree on the resulting schedule exactly.
+    """
+    cluster = make_cluster(1)
+    g = TaskGraph(DataRegistry())
+    for i in range(60):
+        h = g.registry.register(f"h{i}", 0, home=0)
+        name = "slow" if i == 30 else "t"
+        g.submit(name, "p", 1e9, writes=[h])
+    assert_equivalent(g, cluster, PM)
+
+
+def test_wave_with_gpu_preference_split():
+    """Mixed CPU-only and CPU/GPU tasks on a GPU node."""
+    cluster = make_cluster(0, n_gpu=2)
+    g = TaskGraph(DataRegistry())
+    for i in range(48):
+        h = g.registry.register(f"h{i}", 0, home=i % 2)
+        if i % 3:
+            g.submit("t", "p", 1e9, writes=[h])
+        else:
+            g.submit("c", "p", 1e9, writes=[h], placement=Placement.CPU_ONLY)
+    assert_equivalent(g, cluster, PM)
+
+
+def test_vector_path_engages_and_matches():
+    """A wide uniform wave large enough for the vectorized retire path."""
+    cluster = make_cluster(1)
+    g = TaskGraph(DataRegistry())
+    for i in range(100):
+        h = g.registry.register(f"h{i}", 0, home=0)
+        g.submit("t", "p", 1e9, writes=[h])
+    _, stats = assert_equivalent(g, cluster, PM)
+    assert stats["vector_tasks"] >= 100
+
+
+def test_diamond_fan_out_fan_in_across_nodes():
+    """Fan-out to all nodes, fan back in: transfer-heavy joins."""
+    cluster = make_cluster(4)
+    g = TaskGraph(DataRegistry())
+    root = g.registry.register("root", 64 << 20, home=0)
+    g.submit("t", "p", 1e9, writes=[root])
+    mids = []
+    for i in range(4):
+        for j in range(3):
+            h = g.registry.register(f"m{i}_{j}", 32 << 20, home=i)
+            g.submit("t", "p", 1e9, reads=[root], writes=[h])
+            mids.append(h)
+    out = g.registry.register("out", 0, home=3)
+    g.submit("t", "p", 1e9, reads=mids, writes=[out])
+    assert_equivalent(g, cluster, PM)

@@ -1,0 +1,102 @@
+"""ScenarioBatch (one graph, many bindings) vs the naive sweep.
+
+The batched sweep shares one graph build and one plan template across
+every ``(n_fact, n_gen)`` configuration; this suite pins its promise:
+every makespan -- and the full record stream of bound plans -- is
+bit-identical to rebuilding the graph from scratch and running the
+reference engine.
+"""
+
+import pytest
+
+from repro.geostat import IterationPlan
+from repro.geostat.phases import build_iteration_graph
+from repro.measure.batch import ScenarioBatch, batch_measure
+from repro.measure.sweep import scenario_actions, sweep_scenario
+from repro.platform import get_scenario
+from repro.runtime import PerfModel, Simulator
+from repro.workload import Workload
+
+from .oracle import RESULT_FIELDS
+
+
+def _naive(cluster, workload, n_fact, n_gen):
+    graph = build_iteration_graph(
+        cluster, workload, IterationPlan(n_fact=n_fact, n_gen=n_gen)
+    )
+    return Simulator(cluster, PerfModel(), trace=True).run(graph)
+
+
+@pytest.mark.parametrize("key", ["a", "b", "c"])
+def test_batched_sweep_makespans_bit_identical(key):
+    scenario = get_scenario(key)
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    batch = ScenarioBatch(cluster, workload)
+    n_total = len(cluster)
+    for n in scenario_actions(scenario, workload):
+        assert batch.measure(int(n), n_total) == _naive(
+            cluster, workload, int(n), n_total
+        ).makespan
+        # Rigid configuration (n_gen = n_fact), the Figure 5 yellow line.
+        assert batch.measure(int(n), int(n)) == _naive(
+            cluster, workload, int(n), int(n)
+        ).makespan
+
+
+def test_batched_records_match_reference():
+    """Beyond makespans: bound plans replay the exact record streams."""
+    scenario = get_scenario("b")
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    batch = ScenarioBatch(cluster, workload)
+    n_total = len(cluster)
+    from repro.runtime import FastSimulator
+
+    sim = FastSimulator(cluster, PerfModel(), trace=True)
+    for n_fact in (1, 2, n_total):
+        ref = _naive(cluster, workload, n_fact, n_total)
+        fast = sim.run_plan(batch.plan(n_fact, n_total))
+        for name in RESULT_FIELDS:
+            assert getattr(fast, name) == getattr(ref, name)
+        assert fast.task_records == ref.task_records
+        assert fast.transfer_records == ref.transfer_records
+
+
+def test_batch_measure_matches_sweep_loop():
+    """Module-level helper returns exactly the naive sweep's pairs."""
+    scenario = get_scenario("a")
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    actions = scenario_actions(scenario, workload)
+    got = batch_measure(scenario, actions, include_rigid=True)
+    for n in actions:
+        duration, rigid = got[int(n)]
+        assert duration == _naive(cluster, workload, int(n), len(cluster)).makespan
+        assert rigid == _naive(cluster, workload, int(n), int(n)).makespan
+
+
+def test_sweep_scenario_identical_under_fast_flag(monkeypatch):
+    """The opt-in env flag must not change a single bank value."""
+    scenario = get_scenario("a")
+    monkeypatch.delenv("REPRO_SIMFAST", raising=False)
+    ref_bank = sweep_scenario(scenario, augment=2, include_rigid=True)
+    monkeypatch.setenv("REPRO_SIMFAST", "1")
+    fast_bank = sweep_scenario(scenario, augment=2, include_rigid=True)
+    assert fast_bank.true_means == ref_bank.true_means
+    assert fast_bank.rigid == ref_bank.rigid
+    assert fast_bank.lp == ref_bank.lp
+    assert all(
+        (fast_bank.samples[n] == ref_bank.samples[n]).all()
+        for n in ref_bank.actions
+    )
+
+
+def test_plan_rejects_out_of_range_configs():
+    scenario = get_scenario("a")
+    cluster = scenario.build_cluster()
+    batch = ScenarioBatch(cluster, Workload.from_name(scenario.workload))
+    with pytest.raises(ValueError, match="out of range"):
+        batch.plan(0)
+    with pytest.raises(ValueError, match="out of range"):
+        batch.plan(len(cluster) + 1)

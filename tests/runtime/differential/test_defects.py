@@ -1,0 +1,131 @@
+"""Seeded-defect harness: every engine mutation must be caught.
+
+The differential oracle is only as good as its sensitivity.  This
+harness injects each known-bad mutation into the fast engine
+(``FastSimulator(..., _defects=(kind,))``) on a workload that engages
+the mutated machinery and asserts the reference-vs-fast comparison
+*detects* it.  A defect the suite cannot see would mean the oracle has
+a blind spot exactly where the fast path is most likely to break.
+"""
+
+import pytest
+
+from repro.geostat import IterationPlan
+from repro.geostat.phases import build_iteration_graph
+from repro.platform import Cluster, NetworkModel, NodeType, get_scenario
+from repro.runtime import (
+    DataRegistry,
+    FastSimulator,
+    PerfModel,
+    Simulator,
+    TaskGraph,
+)
+from repro.runtime.simfast import DEFECT_KINDS
+from repro.workload import Workload
+
+from .oracle import results_differ
+
+
+def _scenario_graph(key="b", n_fact=1):
+    scenario = get_scenario(key)
+    cluster = scenario.build_cluster()
+    workload = Workload.from_name(scenario.workload)
+    graph = build_iteration_graph(
+        cluster, workload, IterationPlan(n_fact=n_fact, n_gen=len(cluster))
+    )
+    return graph, cluster
+
+
+def test_defect_kinds_is_the_locked_set():
+    assert DEFECT_KINDS == ("wave_boundary", "drop_transfer", "tie_break")
+
+
+def test_unknown_defect_rejected():
+    cluster = get_scenario("b").build_cluster()
+    with pytest.raises(ValueError, match="defect"):
+        FastSimulator(cluster, PerfModel(), _defects=("off_by_one",))
+
+
+def test_clean_run_matches_reference():
+    """Sanity: with no defects injected the engines agree (wave-heavy)."""
+    graph, cluster = _scenario_graph()
+    ref = Simulator(cluster, PerfModel(), trace=True).run(graph)
+    fast_sim = FastSimulator(cluster, PerfModel(), trace=True)
+    fast = fast_sim.run(graph)
+    assert not results_differ(ref, fast)
+    assert fast_sim.last_run_stats["wave_tasks"] > 100
+
+
+def test_wave_boundary_defect_is_caught():
+    """Retiring one task too many per wave must be visible.
+
+    Scenario b at n_fact=1 drains hundreds of generation tasks through
+    waves, so a mis-placed wave boundary perturbs the schedule.
+    """
+    graph, cluster = _scenario_graph()
+    ref = Simulator(cluster, PerfModel(), trace=True).run(graph)
+    bad = FastSimulator(
+        cluster, PerfModel(), trace=True, _defects=("wave_boundary",)
+    ).run(graph)
+    assert results_differ(ref, bad)
+
+
+def test_drop_transfer_defect_is_caught():
+    """Losing a single eager push must be visible in the record stream."""
+    graph, cluster = _scenario_graph(n_fact=2)
+    ref = Simulator(cluster, PerfModel(), trace=True).run(graph)
+    bad = FastSimulator(
+        cluster, PerfModel(), trace=True, _defects=("drop_transfer",)
+    ).run(graph)
+    assert results_differ(ref, bad)
+
+
+def test_tie_break_defect_is_caught():
+    """Flipping the equal-rate CPU/GPU tie must change worker kinds.
+
+    Uses a node whose CPU and GPU rates are identical so the defect's
+    flipped preference is the *only* difference.
+    """
+    tie = NodeType(
+        name="tie", site="SD", category="L", cpu_desc="", gpu_desc="g",
+        cpu_gflops=1.0, gpus=1, gpu_gflops=1.0, nic_gbps=8.0,
+        memory_gb=1.0, cpu_slots=1,
+    )
+    net = NetworkModel(latency_s=0.0, backbone_gbps=None, efficiency=1.0)
+    cluster = Cluster([(tie, 1)], network=net)
+    pm = PerfModel(
+        efficiency={("t", "cpu"): 1.0, ("t", "gpu"): 1.0}, overhead_s=0.0
+    )
+    g = TaskGraph(DataRegistry())
+    a = g.registry.register("a", 0, home=0)
+    b = g.registry.register("b", 0, home=0)
+    g.submit("t", "p", 1e9, writes=[a])
+    g.submit("t", "p", 1e9, reads=[a], writes=[b])
+    ref = Simulator(cluster, pm, trace=True).run(g)
+    bad = FastSimulator(
+        cluster, pm, trace=True, _defects=("tie_break",)
+    ).run(g)
+    assert results_differ(ref, bad)
+    assert [t.worker_kind for t in ref.task_records] != [
+        t.worker_kind for t in bad.task_records
+    ]
+
+
+@pytest.mark.parametrize("kind", DEFECT_KINDS)
+def test_every_defect_kind_has_a_catching_workload(kind):
+    """Umbrella: each mutation in DEFECT_KINDS is caught by the suite.
+
+    Mirrors the dedicated tests above but iterates the locked tuple, so
+    adding a new defect kind without a catching workload fails here.
+    """
+    if kind == "tie_break":
+        test_tie_break_defect_is_caught()
+        return
+    graph, cluster = _scenario_graph(
+        n_fact=1 if kind == "wave_boundary" else 2
+    )
+    ref = Simulator(cluster, PerfModel(), trace=True).run(graph)
+    bad = FastSimulator(
+        cluster, PerfModel(), trace=True, _defects=(kind,)
+    ).run(graph)
+    assert results_differ(ref, bad)

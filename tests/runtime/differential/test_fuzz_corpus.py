@@ -1,0 +1,59 @@
+"""Differential oracle over a fuzzed platform corpus (both families).
+
+Fifty seeded platforms -- 25 cholesky, 25 map/shuffle/reduce -- drawn
+from :func:`repro.fuzz.platforms.sample_corpus` (deterministic in the
+root seed, so a failure names a reproducible platform).  Each platform
+simulates one factorization/participation node count derived from its
+index, covering the full 1..N range across the corpus.
+"""
+
+import pytest
+
+from repro.fuzz.platforms import sample_corpus
+from repro.fuzz.workloads import build_msr_graph, msr_perfmodel
+from repro.geostat import IterationPlan
+from repro.geostat.phases import build_iteration_graph
+from repro.platform import Cluster
+from repro.runtime import PerfModel
+from repro.workload import Workload
+
+from .oracle import assert_equivalent
+
+ROOT_SEED = 20260808
+CHOLESKY = sample_corpus(25, root_seed=ROOT_SEED, families=("cholesky",))
+MSR = sample_corpus(25, root_seed=ROOT_SEED, families=("msr",))
+
+
+def _ids(corpus):
+    return [f"{p.family}-{p.index:03d}" for p in corpus]
+
+
+@pytest.mark.parametrize("platform", CHOLESKY, ids=_ids(CHOLESKY))
+def test_cholesky_platform_bit_identical(platform):
+    cluster = platform.build_cluster()
+    n_total = len(cluster)
+    workload = Workload(
+        name=platform.scenario.workload,
+        t=platform.tiles,
+        nb=max(1, round(platform.matrix_order / platform.tiles)),
+    )
+    n_fact = 1 + platform.index % n_total
+    graph = build_iteration_graph(
+        cluster, workload, IterationPlan(n_fact=n_fact, n_gen=n_total)
+    )
+    assert_equivalent(graph, cluster, PerfModel())
+
+
+@pytest.mark.parametrize("platform", MSR, ids=_ids(MSR))
+def test_msr_platform_bit_identical(platform):
+    cluster = platform.build_cluster()
+    n = 1 + platform.index % len(cluster)
+    graph = build_msr_graph(cluster, platform.msr, n)
+    assert_equivalent(graph, cluster, msr_perfmodel())
+
+
+def test_corpus_is_deterministic():
+    """The corpus is pinned: same seed, same platforms, every run."""
+    again = sample_corpus(25, root_seed=ROOT_SEED, families=("cholesky",))
+    assert [p.key for p in again] == [p.key for p in CHOLESKY]
+    assert all(isinstance(p.build_cluster(), Cluster) for p in again[:1])
