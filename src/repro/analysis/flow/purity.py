@@ -263,7 +263,7 @@ def infer_purity(ctx: FlowContext) -> PurityReport:
         for qual, fp in report.functions.items():
             for callee in sorted(graph.successors(qual)):
                 target = report.functions.get(callee)
-                if target is None:
+                if target is None or callee == qual:
                     continue
                 if callee.startswith(OBS_GATED_PREFIXES) and \
                         not qual.startswith(OBS_GATED_PREFIXES):
@@ -282,13 +282,24 @@ def infer_purity(ctx: FlowContext) -> PurityReport:
                         not (callee.startswith(OBS_GATED_PREFIXES)
                              and not qual.startswith(
                                  OBS_GATED_PREFIXES)):
+                    # Propagate the ROOT-CAUSE tag: a "via X: ev"
+                    # entry travels unchanged instead of being
+                    # re-wrapped per hop.  Re-wrapping made the tag
+                    # space unbounded, so recursion (a self-edge or
+                    # any call cycle) grew evidence lists
+                    # exponentially until the pass guard; root-cause
+                    # tags keep the space finite and the fixpoint
+                    # convergent, and the direct offender is the
+                    # useful thing to name anyway.
                     for ev in target.io:
-                        tag = f"via {callee}: {ev}"
+                        tag = ev if ev.startswith("via ") else \
+                            f"via {callee}: {ev}"
                         if tag not in fp.io:
                             fp.io.append(tag)
                             changed = True
                     for ev in target.global_mutation:
-                        tag = f"via {callee}: {ev}"
+                        tag = ev if ev.startswith("via ") else \
+                            f"via {callee}: {ev}"
                         if tag not in fp.global_mutation:
                             fp.global_mutation.append(tag)
                             changed = True

@@ -19,6 +19,14 @@ Thresholds are expressed in units of the stream's own noise scale
 (estimated over the first ``burn_in`` observations), so the same
 defaults work for a 6-second scenario and a 60-second one.
 
+Both families were grid-swept against the canned fault schedules by the
+forensics analyzer (``repro obs forensics --sweep``); the ranked table
+lives in EXPERIMENTS.md under "Detector sweep".  The class defaults
+below are conservative stationary-trace settings (they carry the pinned
+false-positive bound); :class:`repro.faults.resilience.ResilientStrategy`
+overrides the Page-Hinkley knobs with the sweep's top-ranked
+configuration (``delta=0.25``, ``threshold=6.0``).
+
 **Pinned false-positive bound**: on stationary Gaussian traces of the
 Figure 6 shape (30 repetitions x 127 iterations, sd 0.5), the default
 Page-Hinkley configuration must alarm on at most

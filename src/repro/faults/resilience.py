@@ -80,7 +80,13 @@ class ResilientStrategy(Strategy):
         Minimum iterations between two detector-triggered rebuilds.
     detector_delta / detector_threshold:
         Page-Hinkley drift tolerance and alarm threshold, in noise-scale
-        units (see :mod:`repro.faults.detector`).
+        units (see :mod:`repro.faults.detector`).  The defaults are the
+        top-ranked Page-Hinkley configuration of the forensics sweep
+        (``repro obs forensics --sweep``; ranked table in
+        EXPERIMENTS.md, "Detector sweep"): ``delta=0.25``,
+        ``threshold=6.0`` roughly halves detection latency and more
+        than doubles mean F1 against the canned schedule family
+        compared to the previous ``delta=0.5``, ``threshold=12.0``.
     max_retries:
         Immediate same-arm retries after a transient failure.
     failure_factor:
@@ -94,8 +100,8 @@ class ResilientStrategy(Strategy):
     inner: str = "GP-discontinuous"
     window: int = 20
     cooldown: int = 8
-    detector_delta: float = 0.5
-    detector_threshold: float = 12.0
+    detector_delta: float = 0.25
+    detector_threshold: float = 6.0
     max_retries: int = 1
     failure_factor: float = 3.0
     backoff_base: int = 2

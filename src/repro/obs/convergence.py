@@ -1,0 +1,189 @@
+"""Convergence analytics over strategy decision logs.
+
+The paper's Table I scores strategies by how *quickly* they reach a
+near-oracle configuration, not just where they end up.  This module
+replays strategies on a measurement bank with the exact seed convention
+of :func:`repro.evaluate.regret.regret_curves` (so the trajectories are
+directly comparable with the regret suite) and distills each run into a
+:class:`ConvergenceSummary`:
+
+* **iterations-to-within-5%-of-oracle** -- the first iteration after
+  which mean instantaneous regret stays below 5 % of the oracle's mean
+  duration (Table I's "Fast" column as one number);
+* **cumulative-regret trajectory** -- the mean-over-reps running sum of
+  instantaneous regret (flattening curve == no-regret learning);
+* **exploration/exploitation ratio** -- the fraction of iterations
+  where the strategy proposed something other than its current
+  best-observed arm (how much budget went to learning vs earning);
+* **GP posterior-uncertainty decay** -- mean posterior sd at the chosen
+  arm per iteration, plus its end-to-start ratio (model-free strategies
+  report an empty trajectory and a decay of 1.0).
+
+Pure replay: strategies observe bank resamples exactly as in the
+evaluation harness; telemetry reads
+(:meth:`~repro.strategies.base.Strategy.decision_telemetry`,
+:meth:`~repro.strategies.base.Strategy.best_observed`) are
+deterministic queries that never touch an RNG stream, so analyzing a
+strategy cannot change what it would have done.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Bump when the summary layout changes incompatibly.
+CONVERGENCE_SCHEMA_VERSION = 1
+
+#: Table I's "within 5 % of the oracle" convergence tolerance.
+CONVERGENCE_TOLERANCE = 0.05
+
+
+@dataclass
+class ConvergenceSummary:
+    """Distilled learning trajectory of one strategy on one bank."""
+
+    strategy: str
+    iterations: int
+    reps: int
+    iters_to_5pct: float              # inf when never converged
+    final_cumulative_regret: float
+    regret_trajectory: List[float] = field(default_factory=list)
+    exploration_ratio: float = 0.0
+    posterior_sd: List[float] = field(default_factory=list)
+    sd_decay: float = 1.0             # last/first mean posterior sd
+
+    @property
+    def converged(self) -> bool:
+        return math.isfinite(self.iters_to_5pct)
+
+
+def analyze_convergence(
+    bank,
+    strategies: Sequence[str],
+    iterations: int = 60,
+    reps: int = 5,
+    base_seed: int = 0,
+    tolerance: float = CONVERGENCE_TOLERANCE,
+) -> List[ConvergenceSummary]:
+    """Replay ``strategies`` on ``bank`` and summarize each trajectory.
+
+    Seeds follow :func:`repro.evaluate.regret.regret_curves` --
+    ``rng = default_rng((base_seed, rep, len(name)))`` and
+    ``make_strategy(..., seed=rep + base_seed)`` -- so the chosen-arm
+    sequences here are the same ones the regret suite scores.
+    """
+    from ..strategies import make_strategy
+
+    best = bank.best_action()
+    best_mean = bank.mean(best)
+    means = {n: bank.mean(n) for n in bank.actions}
+    space = bank.action_space()
+
+    summaries: List[ConvergenceSummary] = []
+    for name in strategies:
+        instant = np.empty((reps, iterations))
+        explored = 0
+        sd_sum = np.zeros(iterations)
+        sd_runs = 0
+        for rep in range(reps):
+            rng = np.random.default_rng((base_seed, rep, len(name)))
+            strategy = make_strategy(name, space, seed=rep + base_seed)
+            saw_telemetry = False
+            for t in range(iterations):
+                n = strategy.propose()
+                if t > 0 and n != strategy.best_observed():
+                    explored += 1
+                telemetry = strategy.decision_telemetry(n)
+                if "posterior_sd" in telemetry:
+                    sd_sum[t] += float(telemetry["posterior_sd"])
+                    saw_telemetry = True
+                strategy.observe(n, bank.resample(n, rng))
+                instant[rep, t] = means[n] - best_mean
+            if saw_telemetry:
+                sd_runs += 1
+        mean_instant = instant.mean(axis=0)
+        trajectory = mean_instant.cumsum()
+        threshold = tolerance * max(best_mean, 1e-12)
+        iters_to = float("inf")
+        below = mean_instant <= threshold
+        for t in range(iterations):
+            if below[t:].all():
+                iters_to = float(t)
+                break
+        posterior = (
+            [float(v) for v in sd_sum / sd_runs] if sd_runs else []
+        )
+        decay = (
+            posterior[-1] / posterior[0]
+            if posterior and posterior[0] > 0 else 1.0
+        )
+        summaries.append(ConvergenceSummary(
+            strategy=name,
+            iterations=iterations,
+            reps=reps,
+            iters_to_5pct=iters_to,
+            final_cumulative_regret=float(trajectory[-1]),
+            regret_trajectory=[float(v) for v in trajectory],
+            exploration_ratio=explored / max(reps * (iterations - 1), 1),
+            posterior_sd=posterior,
+            sd_decay=float(decay),
+        ))
+    return summaries
+
+
+def summary_to_dict(summary: ConvergenceSummary) -> dict:
+    """Plain JSON-compatible rendering (inf encoded as -1)."""
+    return {
+        "schema": CONVERGENCE_SCHEMA_VERSION,
+        "strategy": summary.strategy,
+        "iterations": summary.iterations,
+        "reps": summary.reps,
+        "iters_to_5pct": (
+            summary.iters_to_5pct if summary.converged else -1.0
+        ),
+        "final_cumulative_regret": summary.final_cumulative_regret,
+        "exploration_ratio": summary.exploration_ratio,
+        "sd_decay": summary.sd_decay,
+        "regret_trajectory": summary.regret_trajectory,
+        "posterior_sd": summary.posterior_sd,
+    }
+
+
+def render_convergence_table(
+    summaries: Sequence[ConvergenceSummary]
+) -> str:
+    """Human table sorted by final cumulative regret (best first)."""
+    from ..evaluate.report import format_table
+
+    ordered = sorted(
+        summaries, key=lambda s: (s.final_cumulative_regret, s.strategy)
+    )
+    return format_table(
+        ["strategy", "iters-to-5%", "cum regret", "explore %", "sd decay"],
+        [[s.strategy,
+          f"{s.iters_to_5pct:.0f}" if s.converged else "never",
+          f"{s.final_cumulative_regret:.2f}",
+          f"{100.0 * s.exploration_ratio:.1f}",
+          f"{s.sd_decay:.3f}" if s.posterior_sd else "-"]
+         for s in ordered],
+    )
+
+
+def convergence_metrics(
+    summaries: Sequence[ConvergenceSummary]
+) -> Dict[str, float]:
+    """Informational ledger metrics: ``convergence.<strategy>.*``."""
+    metrics: Dict[str, float] = {}
+    for s in summaries:
+        prefix = f"convergence.{s.strategy}"
+        metrics[f"{prefix}.iters_to_5pct"] = (
+            s.iters_to_5pct if s.converged else -1.0
+        )
+        metrics[f"{prefix}.cumulative_regret"] = s.final_cumulative_regret
+        metrics[f"{prefix}.exploration_ratio"] = s.exploration_ratio
+        metrics[f"{prefix}.sd_decay"] = s.sd_decay
+    return metrics

@@ -1,0 +1,345 @@
+"""Unified telemetry dashboard: one self-contained deterministic HTML file.
+
+Composes the analytics of this package into a single report in the
+style of the PR-4 Gantt export (:func:`repro.obs.timeline.render_html`):
+
+* **regret trajectories** -- inline SVG line chart of each strategy's
+  mean cumulative regret (:mod:`repro.obs.convergence`), plus the
+  summary table;
+* **detector timelines** -- per (schedule, detector) lanes with the
+  ground-truth fault intervals shaded and alarm firings drawn as tick
+  marks (:mod:`repro.obs.forensics`), plus the score table;
+* **SLO verdicts** -- the rule table of :mod:`repro.obs.slo`;
+* **series sparklines** -- one small inline SVG per stored series with
+  its windowed summary (:mod:`repro.obs.series`).
+
+Every section is optional (pass ``None``/empty to omit).  No scripts,
+no external resources, fixed float formatting, sorted iteration where
+order is not semantically meaningful -- the output bytes are a pure
+function of the inputs, so CI double-renders the dashboard and ``cmp``s
+the files.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .convergence import ConvergenceSummary, render_convergence_table
+from .forensics import ForensicsResult, truth_change_points
+from .series import SeriesStore, render_key
+
+#: Bump when the dashboard layout changes incompatibly.
+DASHBOARD_SCHEMA_VERSION = 1
+
+_CSS = """
+body { font-family: sans-serif; margin: 1.5em; color: #222; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f2f2f2; } td.l, th.l { text-align: left; }
+td.bad { background: #fdd; } td.ok { background: #dfd; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.swatch { display: inline-block; width: 0.9em; height: 0.9em;
+          margin-right: 0.3em; vertical-align: -0.1em; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+pre { background: #f7f7f7; padding: 0.6em; overflow-x: auto; }
+"""
+
+#: Fixed strategy line palette (cycled); chosen for print contrast.
+_LINE_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+                "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f")
+
+_FAULT_FILL = "#f4c7a1"
+_ALARM_COLOR = "#c0392b"
+
+
+def _polyline(values: Sequence[float], x0: float, y0: float,
+              width: float, height: float, v_max: float,
+              color: str) -> str:
+    """SVG polyline of ``values`` scaled into a (width x height) box."""
+    if not values:
+        return ""
+    n = len(values)
+    span = max(v_max, 1e-12)
+    points = " ".join(
+        f"{x0 + (width * i / max(n - 1, 1)):.2f},"
+        f"{y0 + height - (height * min(v, span) / span):.2f}"
+        for i, v in enumerate(values)
+    )
+    return (f'<polyline points="{points}" fill="none" stroke="{color}"'
+            f' stroke-width="1.5"/>')
+
+
+def _svg_regret_chart(
+    summaries: Sequence[ConvergenceSummary],
+    width: int = 640,
+    height: int = 220,
+) -> str:
+    """Line chart of mean cumulative regret per strategy."""
+    margin_l, margin_b, margin_t = 46, 22, 8
+    plot_w = width - margin_l - 10
+    plot_h = height - margin_t - margin_b
+    v_max = max(
+        (max(s.regret_trajectory) for s in summaries
+         if s.regret_trajectory),
+        default=1.0,
+    )
+    v_max = max(v_max, 1e-12)
+    parts: List[str] = []
+    # Horizontal gridlines + axis labels at 0 / half / max.
+    for frac in (0.0, 0.5, 1.0):
+        y = margin_t + plot_h - plot_h * frac
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.2f}"'
+            f' x2="{margin_l + plot_w}" y2="{y:.2f}"'
+            f' stroke="#ddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 4}" y="{y + 3:.2f}" font-size="9"'
+            f' text-anchor="end">{v_max * frac:.1f}</text>'
+        )
+    for i, summary in enumerate(summaries):
+        color = _LINE_COLORS[i % len(_LINE_COLORS)]
+        parts.append(_polyline(
+            summary.regret_trajectory, margin_l, margin_t,
+            plot_w, plot_h, v_max, color,
+        ))
+    iterations = max((s.iterations for s in summaries), default=0)
+    parts.append(
+        f'<text x="{margin_l + plot_w}" y="{height - 8}" font-size="9"'
+        f' text-anchor="end">iteration {iterations}</text>'
+    )
+    parts.append(
+        f'<text x="{margin_l}" y="{height - 8}" font-size="9">0</text>'
+    )
+    return (
+        f'<svg width="{width}" height="{height}" role="img"'
+        f' aria-label="cumulative regret trajectories">'
+        + "".join(parts) + "</svg>"
+    )
+
+
+def _regret_legend(summaries: Sequence[ConvergenceSummary]) -> str:
+    return "".join(
+        f'<span><span class="swatch" style="background:'
+        f'{_LINE_COLORS[i % len(_LINE_COLORS)]}"></span>'
+        f"{html.escape(s.strategy)}</span>"
+        for i, s in enumerate(summaries)
+    )
+
+
+def _fault_intervals(schedule, iterations: int) -> List[Tuple[int, int]]:
+    """Closed-open iteration windows of the schedule's faults."""
+    intervals = []
+    for fault in schedule.faults:
+        end = fault.end if fault.end is not None else iterations
+        intervals.append((fault.start, min(end, iterations)))
+    return intervals
+
+
+def _svg_detector_timeline(
+    results: Sequence[ForensicsResult],
+    schedules: Mapping[str, object],
+    alarm_indices: Mapping[str, Sequence[int]],
+    width: int = 640,
+) -> str:
+    """One lane per (schedule, detector): fault windows + alarm ticks.
+
+    ``alarm_indices`` maps ``f"{schedule}/{config_key}"`` to rep-0 alarm
+    positions (a representative trace; the score table next to the chart
+    carries the pooled numbers).
+    """
+    margin_l, row_h, gap = 170, 16, 6
+    iterations = max((r.iterations for r in results), default=1)
+    plot_w = width - margin_l - 10
+    scale = plot_w / max(iterations, 1)
+    parts: List[str] = []
+    y = 14
+    for result in results:
+        label = f"{result.schedule} {result.config.key()}"
+        parts.append(
+            f'<text x="4" y="{y + row_h - 4}" font-size="9">'
+            f"{html.escape(label)}</text>"
+        )
+        schedule = schedules.get(result.schedule)
+        if schedule is not None:
+            for start, end in _fault_intervals(schedule, iterations):
+                x = margin_l + start * scale
+                w = max((end - start) * scale, 0.5)
+                parts.append(
+                    f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}"'
+                    f' height="{row_h - 2}" fill="{_FAULT_FILL}">'
+                    f"<title>fault [{start}, {end})</title></rect>"
+                )
+            for cp in truth_change_points(schedule, iterations):
+                x = margin_l + cp * scale
+                parts.append(
+                    f'<line x1="{x:.2f}" y1="{y}" x2="{x:.2f}"'
+                    f' y2="{y + row_h - 2}" stroke="#888"'
+                    f' stroke-width="1" stroke-dasharray="2,2"/>'
+                )
+        key = f"{result.schedule}/{result.config.key()}"
+        for alarm in alarm_indices.get(key, ()):
+            x = margin_l + alarm * scale
+            parts.append(
+                f'<line x1="{x:.2f}" y1="{y - 2}" x2="{x:.2f}"'
+                f' y2="{y + row_h - 2}" stroke="{_ALARM_COLOR}"'
+                f' stroke-width="2"><title>alarm @ {alarm}</title></line>'
+            )
+        y += row_h + gap
+    height = y + 18
+    for i in range(0, iterations + 1, max(iterations // 6, 1)):
+        x = margin_l + i * scale
+        parts.append(
+            f'<text x="{x:.2f}" y="{height - 6}" font-size="9"'
+            f' text-anchor="middle">{i}</text>'
+        )
+    return (
+        f'<svg width="{width}" height="{height}" role="img"'
+        f' aria-label="detector firings over fault intervals">'
+        + "".join(parts) + "</svg>"
+    )
+
+
+def _sparkline(values: Sequence[float], width: int = 120,
+               height: int = 24) -> str:
+    """Tiny inline SVG line of one series (auto-scaled to its range)."""
+    if not values:
+        return "<svg width=\"120\" height=\"24\"></svg>"
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-12)
+    scaled = [(v - lo) / span for v in values]
+    n = len(scaled)
+    points = " ".join(
+        f"{2 + (width - 4) * i / max(n - 1, 1):.2f},"
+        f"{height - 3 - (height - 6) * v:.2f}"
+        for i, v in enumerate(scaled)
+    )
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" stroke="#1f77b4"'
+        f' stroke-width="1"/></svg>'
+    )
+
+
+def _series_section(store: SeriesStore, window: int = 0) -> str:
+    rows = []
+    for name, labels in store.keys():
+        series = store.series(name, dict(labels))
+        summary = store.window(name, dict(labels), window)
+        rows.append(
+            f'<tr><td class="l">{html.escape(render_key(name, labels))}</td>'
+            f"<td>{_sparkline(series.values(window))}</td>"
+            f"<td>{summary['count']:.0f}</td>"
+            f"<td>{summary['mean']:.4f}</td>"
+            f"<td>{summary['p50']:.4f}</td>"
+            f"<td>{summary['p95']:.4f}</td>"
+            f"<td>{summary['p99']:.4f}</td>"
+            f"<td>{summary['rate']:.4f}</td></tr>"
+        )
+    return (
+        '<table><tr><th class="l">series</th><th>spark</th><th>count</th>'
+        "<th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>rate</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _slo_section(verdicts: Sequence[Mapping[str, object]]) -> str:
+    rows = []
+    for v in verdicts:
+        cls = "ok" if v["ok"] else "bad"
+        word = "ok" if v["ok"] else "VIOLATED"
+        rows.append(
+            f'<tr><td class="l">{html.escape(str(v["rule"]))}</td>'
+            f'<td class="l">{html.escape(str(v["series"]))}</td>'
+            f'<td class="l">{html.escape(str(v["agg"]))}</td>'
+            f"<td>{float(v['observed']):.4f}</td>"
+            f"<td>{html.escape(str(v['op']))} "
+            f"{float(v['threshold']):.4f}</td>"
+            f"<td>{int(v['points'])}</td>"
+            f'<td class="{cls}">{word}</td></tr>'
+        )
+    return (
+        '<table><tr><th class="l">rule</th><th class="l">series</th>'
+        '<th class="l">agg</th><th>observed</th><th>bound</th>'
+        "<th>points</th><th>verdict</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _forensics_table(results: Sequence[ForensicsResult]) -> str:
+    rows = []
+    for r in results:
+        rows.append(
+            f'<tr><td class="l">{html.escape(r.schedule)}</td>'
+            f'<td class="l">{html.escape(r.config.key())}</td>'
+            f"<td>{r.change_points}</td><td>{r.alarms}</td>"
+            f"<td>{r.detections}</td><td>{r.false_alarms}</td>"
+            f"<td>{r.precision:.3f}</td><td>{r.recall:.3f}</td>"
+            f"<td>{r.f1:.3f}</td><td>{r.mean_latency:.1f}</td></tr>"
+        )
+    return (
+        '<table><tr><th class="l">schedule</th><th class="l">config</th>'
+        "<th>cps</th><th>alarms</th><th>det</th><th>fa</th>"
+        "<th>precision</th><th>recall</th><th>F1</th><th>latency</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def render_dashboard(
+    title: str = "telemetry dashboard",
+    convergence: Optional[Sequence[ConvergenceSummary]] = None,
+    forensics: Optional[Sequence[ForensicsResult]] = None,
+    schedules: Optional[Mapping[str, object]] = None,
+    alarm_indices: Optional[Mapping[str, Sequence[int]]] = None,
+    slo_verdicts: Optional[Sequence[Mapping[str, object]]] = None,
+    store: Optional[SeriesStore] = None,
+    window: int = 0,
+) -> str:
+    """Compose every available analytics section into one HTML page.
+
+    Bytes are a pure function of the inputs: no timestamps, no
+    randomness, fixed float formatting, and sorted iteration everywhere
+    order is not semantically meaningful.
+    """
+    sections: List[str] = []
+    if convergence:
+        sections.append("<h2>Convergence (cumulative regret)</h2>")
+        sections.append(
+            f'<p class="legend">{_regret_legend(convergence)}</p>')
+        sections.append(_svg_regret_chart(convergence))
+        sections.append(
+            f"<pre>{html.escape(render_convergence_table(convergence))}"
+            "</pre>")
+    if forensics:
+        sections.append("<h2>Fault forensics (detector timelines)</h2>")
+        sections.append(
+            '<p class="legend">'
+            f'<span><span class="swatch" style="background:{_FAULT_FILL}">'
+            "</span>fault window</span>"
+            f'<span><span class="swatch" style="background:{_ALARM_COLOR}">'
+            "</span>detector alarm (rep 0)</span>"
+            '<span><span class="swatch" style="background:#888"></span>'
+            "ground-truth change point</span></p>")
+        sections.append(_svg_detector_timeline(
+            forensics, schedules or {}, alarm_indices or {}))
+        sections.append(_forensics_table(forensics))
+    if slo_verdicts:
+        sections.append("<h2>SLO verdicts</h2>")
+        sections.append(_slo_section(slo_verdicts))
+    if store is not None and len(store):
+        sections.append("<h2>Series</h2>")
+        sections.append(_series_section(store, window))
+    if not sections:
+        sections.append("<p>(no analytics sections supplied)</p>")
+    body = "\n".join(sections)
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style></head><body>
+<h1>{html.escape(title)}</h1>
+<p>schema v{DASHBOARD_SCHEMA_VERSION}; deterministic export.</p>
+{body}
+</body></html>
+"""

@@ -1,0 +1,466 @@
+"""Fault forensics: score change detectors against ground-truth schedules.
+
+PR 5 shipped two online change detectors
+(:class:`~repro.faults.detector.PageHinkleyDetector`,
+:class:`~repro.faults.detector.SlidingWindowDetector`) and pinned their
+defaults off a single crash scenario; the ROADMAP carried the open item
+of sweeping ``detector_threshold`` / ``detector_delta`` / ``window`` /
+``cooldown`` against the whole canned-schedule family.  This module is
+that evaluation:
+
+1. :func:`truth_change_points` derives the ground-truth change instants
+   of a :class:`~repro.faults.models.FaultSchedule` -- every iteration
+   where the set of active faults changes (onsets *and* clearings, both
+   of which a resilient strategy must react to).
+2. :func:`duration_stream` replays the schedule's
+   :class:`~repro.faults.injector.FaultInjector` over a fixed all-nodes
+   policy on a measurement bank, producing the non-stationary duration
+   stream a converged strategy would see.  Pure arithmetic on the
+   injector's :meth:`plan` output -- no tracer, no global state -- so
+   the stream is bit-identical across runs and worker counts.
+3. :func:`join_alarms` greedily matches detector firings to the earliest
+   unmatched change point within a ``horizon``; everything unmatched is
+   a false alarm, every unmatched change point a miss.
+4. :func:`analyze_detector` pools the join over repetitions into
+   detection latency, precision/recall/F1 and false-alarm rate;
+   :func:`sweep_detectors` grids both families over their knobs and
+   ranks the configurations (F1 desc, latency asc, false-alarm asc).
+
+Determinism: repetition seeds follow the repository seed-tuple
+convention (``(base_seed, rep, FORENSICS_TAG)``), the greedy join is
+order-free, and the sweep grid is a fixed tuple -- two runs of
+``sweep_detectors`` produce byte-identical tables at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..faults.detector import PageHinkleyDetector, SlidingWindowDetector
+from ..faults.injector import FaultInjector
+from ..faults.models import FaultSchedule
+
+#: Bump when the forensics report layout changes incompatibly.
+FORENSICS_SCHEMA_VERSION = 1
+
+#: Seed-sequence tag of the forensics replay stream (stable content tag
+#: in the spirit of repro.faults.injector.JITTER_TAG).
+FORENSICS_TAG = 0xF04E
+
+#: Alarms later than ``change_point + horizon`` no longer count as
+#: detections of it (a detector that needs half the run is useless).
+DEFAULT_HORIZON = 15
+
+PAGE_HINKLEY = "page-hinkley"
+SLIDING_WINDOW = "sliding-window"
+FAMILIES = (PAGE_HINKLEY, SLIDING_WINDOW)
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """One detector configuration of the sweep grid.
+
+    ``threshold``/``delta`` parameterize Page-Hinkley; ``window``/
+    ``threshold`` parameterize the sliding window; ``cooldown`` is the
+    post-alarm suppression both families share (alarms closer than
+    ``cooldown`` observations after the previous kept alarm are
+    discarded before scoring, mirroring the re-exploration cooldown of
+    :class:`~repro.faults.resilience.ResilientStrategy`).
+    """
+
+    family: str = PAGE_HINKLEY
+    threshold: float = 12.0
+    delta: float = 0.5
+    window: int = 10
+    cooldown: int = 0
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown detector family {self.family!r}")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def build(self):
+        """A fresh detector instance for one repetition."""
+        if self.family == PAGE_HINKLEY:
+            return PageHinkleyDetector(delta=self.delta,
+                                       threshold=self.threshold)
+        return SlidingWindowDetector(window=self.window,
+                                     threshold=self.threshold)
+
+    def key(self) -> str:
+        """Compact stable identifier used in tables and metric names."""
+        if self.family == PAGE_HINKLEY:
+            return (f"ph(t={self.threshold:g},d={self.delta:g},"
+                    f"c={self.cooldown})")
+        return (f"sw(w={self.window},t={self.threshold:g},"
+                f"c={self.cooldown})")
+
+
+def truth_change_points(
+    schedule: FaultSchedule, iterations: int
+) -> List[int]:
+    """Iterations where the set of active faults changes.
+
+    The signature at iteration ``t`` is the tuple of fault indices
+    active at ``t``; a change point is every ``t >= 1`` whose signature
+    differs from ``t - 1``'s.  Faults already active at ``t = 0`` are
+    part of the baseline, not a change (there is no pre-change regime to
+    detect a shift from).
+    """
+    def signature(t: int) -> Tuple[int, ...]:
+        return tuple(
+            i for i, f in enumerate(schedule.faults) if f.active(t)
+        )
+
+    points = []
+    previous = signature(0)
+    for t in range(1, iterations):
+        current = signature(t)
+        if current != previous:
+            points.append(t)
+        previous = current
+    return points
+
+
+def duration_stream(
+    bank,
+    schedule: FaultSchedule,
+    iterations: int,
+    rep: int = 0,
+    base_seed: int = 0,
+) -> np.ndarray:
+    """Faulted all-nodes duration stream of one repetition.
+
+    The all-nodes policy is the application's standard behaviour
+    (:class:`~repro.strategies.base.AllNodesStrategy`) and the
+    worst-case exposure to every canned fault (crashes clip it,
+    stragglers and network degradation hit it hardest) -- the stream a
+    converged strategy must notice drifting.
+    """
+    injector = FaultInjector(schedule, bank.actions, iterations)
+    rng = np.random.default_rng((base_seed, rep, FORENSICS_TAG))
+    n = bank.n_total
+    stream = np.empty(iterations)
+    for t in range(iterations):
+        injection = injector.plan(t, n)
+        base = bank.resample(injection.effective_n, rng)
+        stream[t] = max(base * injection.scale + injection.shift, 0.0)
+    return stream
+
+
+def fire_detector(config: DetectorConfig, stream: Sequence[float]) -> List[int]:
+    """Alarm indices of one detector run over ``stream`` (cooldown applied)."""
+    detector = config.build()
+    for value in stream:
+        detector.update(value)
+    indices = [alarm.index for alarm in detector.alarms]
+    if config.cooldown <= 0:
+        return indices
+    kept: List[int] = []
+    for index in indices:
+        if not kept or index - kept[-1] >= config.cooldown:
+            kept.append(index)
+    return kept
+
+
+@dataclass(frozen=True)
+class JoinResult:
+    """Greedy alarm/change-point join of one repetition."""
+
+    matches: Tuple[Tuple[int, int], ...]   # (change_point, alarm) pairs
+    false_alarms: Tuple[int, ...]          # alarms matching no change point
+    missed: Tuple[int, ...]                # change points never detected
+
+    @property
+    def latencies(self) -> Tuple[int, ...]:
+        """Detection delay of each matched change point (>= 0)."""
+        return tuple(alarm - cp for cp, alarm in self.matches)
+
+
+def join_alarms(
+    change_points: Sequence[int],
+    alarms: Sequence[int],
+    horizon: int = DEFAULT_HORIZON,
+) -> JoinResult:
+    """Match alarms to change points within ``horizon`` iterations.
+
+    Each alarm (in order) claims the earliest unmatched change point
+    ``cp`` with ``cp <= alarm < cp + horizon``; an alarm claiming
+    nothing is a false alarm.  Greedy-earliest is optimal here because
+    both sequences are sorted: any other assignment matches at most as
+    many pairs and never with smaller latency.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    pending = sorted(int(cp) for cp in change_points)
+    matches: List[Tuple[int, int]] = []
+    false_alarms: List[int] = []
+    for alarm in sorted(int(a) for a in alarms):
+        claimed = None
+        for i, cp in enumerate(pending):
+            if cp <= alarm < cp + horizon:
+                claimed = i
+                break
+            if cp > alarm:
+                break
+        if claimed is None:
+            false_alarms.append(alarm)
+        else:
+            matches.append((pending.pop(claimed), alarm))
+    return JoinResult(
+        matches=tuple(matches),
+        false_alarms=tuple(false_alarms),
+        missed=tuple(pending),
+    )
+
+
+@dataclass
+class ForensicsResult:
+    """Pooled detector score on one (schedule, configuration) pair."""
+
+    schedule: str
+    config: DetectorConfig
+    iterations: int
+    reps: int
+    change_points: int = 0            # per repetition
+    alarms: int = 0                   # pooled over repetitions
+    detections: int = 0               # pooled matched change points
+    false_alarms: int = 0             # pooled unmatched alarms
+    latencies: List[int] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        """Matched fraction of alarms (1.0 when the detector never fired)."""
+        return self.detections / self.alarms if self.alarms else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Detected fraction of change points (1.0 when there are none)."""
+        total = self.change_points * self.reps
+        return self.detections / total if total else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2.0 * p * r / (p + r) if p + r > 0 else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """False alarms per iteration, pooled over repetitions."""
+        total = self.iterations * self.reps
+        return self.false_alarms / total if total else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean detection delay in iterations (0.0 without detections)."""
+        return (sum(self.latencies) / len(self.latencies)
+                if self.latencies else 0.0)
+
+
+def analyze_detector(
+    bank,
+    schedule: FaultSchedule,
+    config: DetectorConfig,
+    iterations: int = 60,
+    reps: int = 5,
+    base_seed: int = 0,
+    horizon: int = DEFAULT_HORIZON,
+) -> ForensicsResult:
+    """Score one configuration against one schedule, pooled over reps."""
+    change_points = truth_change_points(schedule, iterations)
+    result = ForensicsResult(
+        schedule=schedule.label,
+        config=config,
+        iterations=iterations,
+        reps=reps,
+        change_points=len(change_points),
+    )
+    for rep in range(reps):
+        stream = duration_stream(bank, schedule, iterations, rep, base_seed)
+        alarms = fire_detector(config, stream)
+        join = join_alarms(change_points, alarms, horizon)
+        result.alarms += len(alarms)
+        result.detections += len(join.matches)
+        result.false_alarms += len(join.false_alarms)
+        result.latencies.extend(join.latencies)
+    return result
+
+
+#: Default configurations scored by ``repro obs forensics`` without
+#: ``--sweep``: the pinned ResilientStrategy defaults of each family.
+def default_configs(cooldown: int = 8) -> List[DetectorConfig]:
+    """The two families at their pinned defaults.
+
+    Page-Hinkley mirrors the sweep-chosen
+    :class:`~repro.faults.resilience.ResilientStrategy` defaults
+    (EXPERIMENTS.md, "Detector sweep"); sliding-window mirrors
+    :class:`~repro.faults.detector.SlidingWindowDetector`'s.
+    """
+    return [
+        DetectorConfig(family=PAGE_HINKLEY, threshold=6.0, delta=0.25,
+                       cooldown=cooldown),
+        DetectorConfig(family=SLIDING_WINDOW, window=10, threshold=3.0,
+                       cooldown=cooldown),
+    ]
+
+
+#: The sweep grid: Page-Hinkley (threshold x delta x cooldown) and
+#: sliding-window (window x threshold x cooldown).  Fixed tuples, so
+#: the ranked table is byte-stable.
+SWEEP_PH_THRESHOLDS = (6.0, 12.0, 24.0)
+SWEEP_PH_DELTAS = (0.25, 0.5, 1.0)
+SWEEP_SW_WINDOWS = (5, 10, 15)
+SWEEP_SW_THRESHOLDS = (2.0, 3.0, 4.0)
+SWEEP_COOLDOWNS = (0, 8)
+
+
+def sweep_grid() -> List[DetectorConfig]:
+    """Every configuration of the sweep, in fixed grid order."""
+    grid: List[DetectorConfig] = []
+    for threshold, delta, cooldown in product(
+            SWEEP_PH_THRESHOLDS, SWEEP_PH_DELTAS, SWEEP_COOLDOWNS):
+        grid.append(DetectorConfig(family=PAGE_HINKLEY, threshold=threshold,
+                                   delta=delta, cooldown=cooldown))
+    for window, threshold, cooldown in product(
+            SWEEP_SW_WINDOWS, SWEEP_SW_THRESHOLDS, SWEEP_COOLDOWNS):
+        grid.append(DetectorConfig(family=SLIDING_WINDOW, window=window,
+                                   threshold=threshold, cooldown=cooldown))
+    return grid
+
+
+@dataclass
+class SweepRow:
+    """One configuration's scores pooled across every swept schedule."""
+
+    config: DetectorConfig
+    results: List[ForensicsResult]
+
+    @property
+    def mean_f1(self) -> float:
+        return (sum(r.f1 for r in self.results) / len(self.results)
+                if self.results else 0.0)
+
+    @property
+    def mean_latency(self) -> float:
+        pooled = [lat for r in self.results for lat in r.latencies]
+        return sum(pooled) / len(pooled) if pooled else 0.0
+
+    @property
+    def mean_false_alarm_rate(self) -> float:
+        return (sum(r.false_alarm_rate for r in self.results)
+                / len(self.results) if self.results else 0.0)
+
+
+def sweep_detectors(
+    bank,
+    schedules: Sequence[FaultSchedule],
+    iterations: int = 60,
+    reps: int = 5,
+    base_seed: int = 0,
+    horizon: int = DEFAULT_HORIZON,
+    grid: Optional[Sequence[DetectorConfig]] = None,
+) -> List[SweepRow]:
+    """Grid-score both families and rank the configurations.
+
+    Ranking: mean F1 across schedules (desc), then mean detection
+    latency (asc), then mean false-alarm rate (asc), then the config key
+    (total order, so ties cannot reorder between runs).
+    """
+    rows = [
+        SweepRow(config=config, results=[
+            analyze_detector(bank, schedule, config, iterations, reps,
+                             base_seed, horizon)
+            for schedule in schedules
+        ])
+        for config in (grid if grid is not None else sweep_grid())
+    ]
+    rows.sort(key=lambda row: (
+        -row.mean_f1, row.mean_latency, row.mean_false_alarm_rate,
+        row.config.key(),
+    ))
+    return rows
+
+
+# -- reporting ---------------------------------------------------------------------
+
+
+def result_to_dict(result: ForensicsResult) -> dict:
+    """Plain JSON-compatible rendering of one pooled result."""
+    return {
+        "schedule": result.schedule,
+        "config": result.config.key(),
+        "family": result.config.family,
+        "iterations": result.iterations,
+        "reps": result.reps,
+        "change_points": result.change_points,
+        "alarms": result.alarms,
+        "detections": result.detections,
+        "false_alarms": result.false_alarms,
+        "precision": result.precision,
+        "recall": result.recall,
+        "f1": result.f1,
+        "false_alarm_rate": result.false_alarm_rate,
+        "mean_latency": result.mean_latency,
+    }
+
+
+def render_forensics_table(results: Sequence[ForensicsResult]) -> str:
+    """Per-(schedule, config) score table, input order preserved."""
+    from ..evaluate.report import format_table
+
+    return format_table(
+        ["schedule", "config", "cps", "alarms", "det", "fa",
+         "precision", "recall", "F1", "latency"],
+        [[r.schedule, r.config.key(), r.change_points, r.alarms,
+          r.detections, r.false_alarms, f"{r.precision:.3f}",
+          f"{r.recall:.3f}", f"{r.f1:.3f}", f"{r.mean_latency:.1f}"]
+         for r in results],
+    )
+
+
+def render_sweep_table(rows: Sequence[SweepRow], top: int = 0) -> str:
+    """Ranked sweep table (the EXPERIMENTS.md artifact)."""
+    from ..evaluate.report import format_table
+
+    shown = rows[:top] if top > 0 else rows
+    return format_table(
+        ["rank", "config", "mean F1", "latency", "FA rate"],
+        [[i + 1, row.config.key(), f"{row.mean_f1:.3f}",
+          f"{row.mean_latency:.1f}", f"{row.mean_false_alarm_rate:.4f}"]
+         for i, row in enumerate(shown)],
+    )
+
+
+def forensics_metrics(
+    results: Sequence[ForensicsResult]
+) -> Dict[str, float]:
+    """Informational ledger metrics: ``forensics.<schedule>.<family>.*``.
+
+    Keyed by family (not the full config key) so the metric names stay
+    stable when the pinned defaults move; one result per (schedule,
+    family) is expected -- later duplicates overwrite.
+    """
+    metrics: Dict[str, float] = {}
+    for r in results:
+        prefix = f"forensics.{r.schedule}.{r.config.family}"
+        metrics[f"{prefix}.precision"] = float(r.precision)
+        metrics[f"{prefix}.recall"] = float(r.recall)
+        metrics[f"{prefix}.f1"] = float(r.f1)
+        metrics[f"{prefix}.false_alarm_rate"] = float(r.false_alarm_rate)
+        metrics[f"{prefix}.mean_latency"] = float(r.mean_latency)
+    return metrics
+
+
+def best_config(rows: Sequence[SweepRow],
+                family: Optional[str] = None) -> DetectorConfig:
+    """Top-ranked configuration (optionally within one family)."""
+    for row in rows:
+        if family is None or row.config.family == family:
+            return row.config
+    raise ValueError(f"no swept configuration of family {family!r}")

@@ -45,6 +45,10 @@ DEFAULT_LEDGER = Path("benchmarks") / "perf_ledger.jsonl"
 #: Canonical root-level trajectory artifact written by `repro perf record`.
 ROOT_TIMELINE_OUT = Path("BENCH_timeline.json")
 
+#: Canonical root-level telemetry-analytics artifact written by
+#: ``repro obs forensics --out`` (sibling of ``BENCH_faults.json``).
+ROOT_FORENSICS_OUT = Path("BENCH_forensics.json")
+
 #: Metrics compared by the gate (all simulated-time, lower is better).
 #: Phase-level makespans are gated via the prefix.
 GATED_METRICS = (
@@ -284,19 +288,52 @@ def merge_simfast_metrics(
     return out
 
 
+def merge_forensics_metrics(
+    metrics: Dict[str, float], bench_path: Union[str, Path]
+) -> Dict[str, float]:
+    """Fold ``BENCH_forensics.json`` into a metric dict.
+
+    The merged keys are the report's ``forensics.*`` (detector
+    precision/recall/F1/latency per schedule and family) and
+    ``convergence.*`` (iters-to-5%, cumulative regret, exploration
+    ratio, posterior-sd decay per strategy) entries -- all informational
+    analytics, never gated: they describe *how* the strategies learned,
+    not how fast the code ran.  Missing or unreadable reports merge
+    nothing.
+    """
+    path = Path(bench_path)
+    if not path.exists():
+        return dict(metrics)
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return dict(metrics)
+    out = dict(metrics)
+    body = report.get("metrics")
+    if isinstance(body, dict):
+        for key, value in body.items():
+            if key.startswith(("forensics.", "convergence.")) and isinstance(
+                value, (int, float)
+            ):
+                out[key] = float(value)
+    return out
+
+
 def collect_metrics(
     scenario_key: str,
     n_fact: Optional[int] = None,
     n_gen: Optional[int] = None,
     bench_path: Optional[Union[str, Path]] = None,
     simfast_path: Optional[Union[str, Path]] = None,
+    forensics_path: Optional[Union[str, Path]] = None,
 ):
     """Compute the current run's ledger metrics for one scenario.
 
     Returns ``(metrics, config)``: the flattened timeline analytics of a
     deterministic traced iteration, optionally merged with bench
-    aggregates (``bench_path``) and the fast-engine differential report
-    (``simfast_path``).
+    aggregates (``bench_path``), the fast-engine differential report
+    (``simfast_path``) and the telemetry analytics report
+    (``forensics_path``).
     """
     from .timeline import analyze, flat_metrics, simulate_timeline
 
@@ -308,6 +345,8 @@ def collect_metrics(
         metrics = merge_bench_metrics(metrics, bench_path)
     if simfast_path is not None:
         metrics = merge_simfast_metrics(metrics, simfast_path)
+    if forensics_path is not None:
+        metrics = merge_forensics_metrics(metrics, forensics_path)
     return metrics, cfg
 
 

@@ -9,6 +9,7 @@ a JSONL summary event or a test assertion.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Union
 
 Number = Union[int, float]
@@ -44,15 +45,24 @@ class Gauge:
         self.value = float(value)
 
 
+#: Recent observations kept per histogram for quantile estimates.
+#: Quantiles over the newest window (not the full stream) keep memory
+#: bounded; for the repo's per-run summaries the window usually holds
+#: every observation anyway.
+HISTOGRAM_SAMPLE_CAPACITY = 256
+
+
 class Histogram:
-    """Streaming summary of observed values: count/total/min/max.
+    """Streaming summary of observed values: count/total/min/max + quantiles.
 
     Full bucketed histograms are overkill for per-run summaries; the
-    four-number summary keeps snapshots tiny and deterministic while
-    still answering "how many, how much, how extreme".
+    scalar summary keeps snapshots tiny and deterministic while still
+    answering "how many, how much, how extreme".  A fixed-capacity ring
+    of the most recent observations backs nearest-rank p50/p95/p99.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_recent", "_head")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -60,6 +70,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._recent: list = []
+        self._head = 0
 
     def observe(self, value: Number) -> None:
         """Fold one observation into the summary."""
@@ -68,11 +80,24 @@ class Histogram:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        if len(self._recent) < HISTOGRAM_SAMPLE_CAPACITY:
+            self._recent.append(value)
+        else:
+            self._recent[self._head] = value
+            self._head = (self._head + 1) % HISTOGRAM_SAMPLE_CAPACITY
 
     @property
     def mean(self) -> float:
         """Mean of the observations (0.0 before any)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the retained recent window."""
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+        return ordered[min(rank, len(ordered) - 1)]
 
 
 class Registry:
@@ -142,6 +167,9 @@ class Registry:
                     "min": h.min if h.count else 0.0,
                     "max": h.max if h.count else 0.0,
                     "mean": h.mean,
+                    "p50": h.quantile(0.50),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
                 }
                 for name, h in sorted(self._histograms.items())
             },

@@ -1,0 +1,332 @@
+"""Deterministic in-memory time-series store for telemetry analytics.
+
+The registry (:mod:`repro.obs.registry`) answers "how much, in total";
+the decision log answers "what happened at iteration t" -- but neither
+supports windowed questions ("p99 decision overhead over the last 50
+iterations", "regret burn rate this window") without re-parsing a whole
+trace.  This module adds the missing layer:
+
+* :class:`Series` -- a fixed-capacity ring buffer of ``(tick, value)``
+  points.  Bounded memory by construction: a million-iteration tenant
+  stream costs the same as a hundred-iteration one.
+* :class:`SeriesStore` -- series keyed by metric name plus a *sorted*
+  label set, so ``decision.overhead{strategy=UCB}`` is one well-defined
+  series regardless of label insertion order.
+* :func:`summarize` -- windowed aggregation over the buffered points:
+  count/mean/min/max/p50/p95/p99 plus a first-to-last ``rate`` (the
+  budget-burn primitive of :mod:`repro.obs.slo`).
+* :class:`SeriesSink` -- the opt-in bridge from the existing tracer
+  plumbing: wraps any :class:`~repro.obs.sink.Sink`, forwards every
+  record untouched, and mirrors the numeric payload of known record
+  kinds (``decision``, ``span``, ``cell``, ``fault``) into a store.
+  :meth:`SeriesSink.sample_registry` additionally snapshots registry
+  counters/gauges/histograms as points, so cumulative instruments gain
+  a windowed view without changing a single call site.
+
+Everything is deterministic: timestamps are whatever tick/clock value
+the caller supplies (never a wall-clock read), quantiles use the
+nearest-rank method on sorted copies, and every rendering iterates keys
+in sorted order.  Feeding a store is **inert** by the same contract as
+tracing: no store method touches an RNG stream or feeds a value back
+into the computation.
+
+An optional process-global store (:func:`set_store` / :func:`get_store`)
+lets the campaign drivers and the parallel harness stream aggregates in
+without threading a store argument through every layer; the default is
+``None`` and every instrumentation site guards on it, so the hot paths
+pay one ``is None`` check when analytics are off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .sink import Sink
+
+#: Bump when the snapshot/summary layout changes incompatibly.
+SERIES_SCHEMA_VERSION = 1
+
+#: Default ring-buffer capacity per series (points, not bytes).
+DEFAULT_CAPACITY = 512
+
+#: Label sets are canonicalized to sorted ``(key, value)`` tuples.
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def label_set(labels: Optional[Mapping[str, object]] = None) -> LabelSet:
+    """Canonical sorted label tuple of a mapping (order-independent)."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: LabelSet = ()) -> str:
+    """Human rendering ``name{k=v,...}`` (stable: labels are sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of ``values`` (deterministic, no interpolation).
+
+    ``q`` in [0, 1]; an empty sequence yields 0.0 so summaries of empty
+    windows stay plain scalars.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    rank = max(int(math.ceil(q * len(ordered))) - 1, 0)
+    return ordered[rank]
+
+
+class Series:
+    """Fixed-capacity ring buffer of ``(tick, value)`` points."""
+
+    __slots__ = ("capacity", "_ticks", "_values", "_head", "_count", "seen")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ticks: List[float] = [0.0] * self.capacity
+        self._values: List[float] = [0.0] * self.capacity
+        self._head = 0          # next write slot
+        self._count = 0         # buffered points (<= capacity)
+        self.seen = 0           # total appends, including evicted ones
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, tick: float, value: float) -> None:
+        """Record one point, evicting the oldest when full."""
+        self._ticks[self._head] = float(tick)
+        self._values[self._head] = float(value)
+        self._head = (self._head + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+        self.seen += 1
+
+    def points(self, window: int = 0) -> List[Tuple[float, float]]:
+        """The last ``window`` buffered points, oldest first (0 = all)."""
+        n = self._count if window <= 0 else min(window, self._count)
+        start = (self._head - n) % self.capacity
+        return [
+            (self._ticks[(start + i) % self.capacity],
+             self._values[(start + i) % self.capacity])
+            for i in range(n)
+        ]
+
+    def values(self, window: int = 0) -> List[float]:
+        """The last ``window`` buffered values, oldest first (0 = all)."""
+        return [v for _, v in self.points(window)]
+
+    @property
+    def last(self) -> float:
+        """Most recent value (0.0 before any point)."""
+        if not self._count:
+            return 0.0
+        return self._values[(self._head - 1) % self.capacity]
+
+
+def summarize(points: Sequence[Tuple[float, float]]) -> Dict[str, float]:
+    """Windowed aggregate of ``(tick, value)`` points.
+
+    ``rate`` is the first-to-last value change per tick -- the natural
+    reading for sampled *cumulative* instruments (counters); for plain
+    value series it is the net drift of the window, which is what the
+    trend SLO rules consume.  Empty windows aggregate to all-zeros.
+    """
+    values = [v for _, v in points]
+    if not values:
+        return {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "rate": 0.0,
+        }
+    span = points[-1][0] - points[0][0]
+    rate = (values[-1] - values[0]) / span if span > 0 else 0.0
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+        "p50": quantile(values, 0.50),
+        "p95": quantile(values, 0.95),
+        "p99": quantile(values, 0.99),
+        "rate": rate,
+    }
+
+
+class SeriesStore:
+    """Get-or-create store of named, labelled series."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._series: Dict[Tuple[str, LabelSet], Series] = {}
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def series(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Series:
+        """The series for ``(name, labels)``, created on first use."""
+        key = (str(name), label_set(labels))
+        if key not in self._series:
+            self._series[key] = Series(self.capacity)
+        return self._series[key]
+
+    def record(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, object]] = None,
+        tick: float = 0.0,
+    ) -> None:
+        """Append one point to the series for ``(name, labels)``."""
+        self.series(name, labels).append(tick, value)
+
+    def keys(self) -> List[Tuple[str, LabelSet]]:
+        """Every ``(name, labels)`` key, sorted (deterministic order)."""
+        return sorted(self._series)
+
+    def window(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        window: int = 0,
+    ) -> Dict[str, float]:
+        """Windowed aggregate of one series (empty if it does not exist)."""
+        key = (str(name), label_set(labels))
+        series = self._series.get(key)
+        return summarize(series.points(window) if series else [])
+
+    def snapshot(self, window: int = 0) -> Dict[str, dict]:
+        """Deterministic aggregate dump: rendered key -> summary.
+
+        Keys iterate in sorted order and every summary value is a plain
+        scalar, so a JSON rendering of the snapshot is byte-stable.
+        """
+        out: Dict[str, dict] = {}
+        for (name, labels), series in sorted(self._series.items()):
+            summary = summarize(series.points(window))
+            summary["last"] = series.last
+            summary["seen"] = series.seen
+            out[render_key(name, labels)] = summary
+        return out
+
+
+# -- the tracer bridge -------------------------------------------------------------
+
+#: Record kinds mirrored into the store, as
+#: ``kind -> (field, series name, label fields)`` rows.
+_MIRRORED_FIELDS: Tuple[Tuple[str, str, str, Tuple[str, ...]], ...] = (
+    ("decision", "duration", "decision.duration", ("strategy",)),
+    ("decision", "overhead_s", "decision.overhead", ("strategy",)),
+    ("decision", "acquisition", "decision.acquisition", ("strategy",)),
+    ("decision", "posterior_sd", "decision.posterior_sd", ("strategy",)),
+    ("span", "dur", "span.dur", ("name",)),
+    ("cell", "total", "cell.total", ("scenario", "strategy")),
+    ("fault", "scale", "fault.scale", ()),
+    ("fault", "shift", "fault.shift", ()),
+)
+
+
+class SeriesSink(Sink):
+    """Sink wrapper mirroring known record kinds into a :class:`SeriesStore`.
+
+    Forwarding is transparent: the inner sink receives every record
+    untouched (byte streams are unchanged), and the store receives one
+    point per known numeric field, timestamped with the record's own
+    ``t`` (or span start ``t0``) -- so under the tick clock the mirrored
+    series are byte-reproducible exactly like the trace.
+    """
+
+    def __init__(
+        self, store: SeriesStore, inner: Optional[Sink] = None
+    ) -> None:
+        self.store = store
+        self.inner = inner if inner is not None else Sink()
+
+    def emit(self, record: Dict[str, object]) -> None:
+        if type(self.inner) is not Sink:
+            self.inner.emit(record)
+        kind = record.get("kind")
+        tick = record.get("t", record.get("t0", 0.0))
+        if not isinstance(tick, (int, float)):
+            return
+        for rec_kind, field, name, label_fields in _MIRRORED_FIELDS:
+            if kind != rec_kind:
+                continue
+            value = record.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            labels = {
+                lf: record[lf] for lf in label_fields if lf in record
+            }
+            self.store.record(name, float(value), labels or None,
+                              tick=float(tick))
+
+    def flush(self) -> None:
+        self.inner.flush()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def sample_registry(self, registry, tick: float = 0.0) -> None:
+        """Snapshot every registry instrument as one point per series.
+
+        Counters and gauges sample their scalar; histograms sample their
+        ``count`` and ``mean`` as two sub-series.  Sampling a cumulative
+        counter repeatedly is exactly what the windowed ``rate``
+        aggregate (and the budget-burn SLO rules) consume.
+        """
+        snap = registry.snapshot()
+        for name, value in snap["counters"].items():
+            self.store.record(f"counter.{name}", float(value), tick=tick)
+        for name, value in snap["gauges"].items():
+            self.store.record(f"gauge.{name}", float(value), tick=tick)
+        for name, body in snap["histograms"].items():
+            self.store.record(f"histogram.{name}.count",
+                              float(body["count"]), tick=tick)
+            self.store.record(f"histogram.{name}.mean",
+                              float(body["mean"]), tick=tick)
+
+
+def store_from_records(
+    records: Sequence[dict], capacity: int = DEFAULT_CAPACITY
+) -> SeriesStore:
+    """Replay trace records through a :class:`SeriesSink` into a store.
+
+    The offline path of ``repro obs series``/``repro obs slo``: a JSONL
+    trace read back with :func:`repro.obs.sink.read_trace` becomes the
+    same store a live :class:`SeriesSink` would have built.
+    """
+    store = SeriesStore(capacity)
+    sink = SeriesSink(store)
+    for record in records:
+        sink.emit(record)
+    return store
+
+
+# -- process-global opt-in store ---------------------------------------------------
+
+_ACTIVE_STORE: Optional[SeriesStore] = None
+
+
+def get_store() -> Optional[SeriesStore]:
+    """The active series store, or None when analytics are off."""
+    return _ACTIVE_STORE
+
+
+def set_store(store: Optional[SeriesStore]) -> Optional[SeriesStore]:
+    """Install ``store`` as the active store; returns the previous one."""
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    return previous

@@ -23,7 +23,12 @@ def encode_record(record: Dict[str, object]) -> str:
 
 
 class Sink:
-    """Destination for trace records."""
+    """Destination for trace records.
+
+    Every sink is a context manager: ``with JsonlSink(path) as sink:``
+    guarantees :meth:`close` runs on the exception path too, so a
+    crashing campaign can never truncate the last buffered trace line.
+    """
 
     def emit(self, record: Dict[str, object]) -> None:
         raise NotImplementedError
@@ -33,6 +38,13 @@ class Sink:
 
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False  # never swallow the exception
 
 
 class NullSink(Sink):

@@ -1,0 +1,304 @@
+"""Declarative SLO rule engine over time-series windows.
+
+Rules are plain JSON documents validated against :data:`SLO_RULES_SCHEMA`
+(a JSON-Schema subset checked by the dependency-free validator in this
+module) and evaluated against a :class:`~repro.obs.series.SeriesStore`.
+Three rule kinds cover the service-level questions the ROADMAP's
+tuning-as-a-service item needs:
+
+``threshold``
+    One windowed aggregate (``mean``/``max``/``min``/``p50``/``p95``/
+    ``p99``/``rate``/``count``/``last``) compared against a bound:
+    *"p99 decision overhead over the last 50 iterations <= 0.06 s"* --
+    the paper's Figure-7 overhead claim as a machine-checkable rule.
+
+``budget-burn``
+    Counts the window's points that violate the per-point bound and
+    compares the violation count against an error budget: *"at most 3
+    of the last 50 iterations may exceed 2x the oracle duration"*.
+
+``trend``
+    Least-squares slope of ``value`` against ``tick`` over the window:
+    *"posterior uncertainty must be non-increasing"* (slope <= 0).
+
+Each evaluation produces a schema-versioned verdict record
+(:data:`SLO_SCHEMA_VERSION`) shaped like every other trace record, so
+verdicts can be appended to a JSONL sink or rendered as a table.  The
+engine is deterministic end to end: rule order is preserved, windows are
+tick-indexed, and verdicts contain only plain scalars.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .series import SeriesStore, label_set, render_key, summarize
+
+#: Bump when the verdict-record layout changes incompatibly.
+SLO_SCHEMA_VERSION = 1
+
+RULE_KINDS = ("threshold", "budget-burn", "trend")
+AGGREGATES = ("mean", "max", "min", "p50", "p95", "p99", "rate", "count",
+              "last")
+OPERATORS = ("<=", ">=")
+
+#: JSON-Schema document for an SLO rules file: ``{"rules": [rule, ...]}``.
+#: Kept to the subset understood by :func:`validate_document` so rules
+#: files are checkable without any third-party dependency.
+SLO_RULES_SCHEMA: dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "type": "object",
+    "required": ["rules"],
+    "properties": {
+        "rules": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "series", "kind", "op", "value"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "series": {"type": "string"},
+                    "labels": {"type": "object"},
+                    "kind": {"type": "string", "enum": list(RULE_KINDS)},
+                    "agg": {"type": "string", "enum": list(AGGREGATES)},
+                    "op": {"type": "string", "enum": list(OPERATORS)},
+                    "value": {"type": "number"},
+                    "window": {"type": "integer"},
+                    "budget": {"type": "integer"},
+                },
+            },
+        },
+    },
+}
+
+
+def validate_document(document: object, schema: dict, path: str = "$") -> List[str]:
+    """Check ``document`` against the JSON-Schema subset used here.
+
+    Supports ``type`` (object/array/string/number/integer), ``required``,
+    ``properties``, ``items``, and ``enum`` -- enough for the rules
+    schema above.  Returns a list of human-readable problems (empty means
+    valid); never raises.
+    """
+    problems: List[str] = []
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(document, dict):
+            return [f"{path}: expected object, got {type(document).__name__}"]
+        for key in schema.get("required", ()):
+            if key not in document:
+                problems.append(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in document:
+                problems.extend(
+                    validate_document(document[key], sub, f"{path}.{key}")
+                )
+    elif expected == "array":
+        if not isinstance(document, list):
+            return [f"{path}: expected array, got {type(document).__name__}"]
+        items = schema.get("items")
+        if items:
+            for i, item in enumerate(document):
+                problems.extend(validate_document(item, items, f"{path}[{i}]"))
+    elif expected == "string":
+        if not isinstance(document, str):
+            return [f"{path}: expected string, got {type(document).__name__}"]
+    elif expected == "number":
+        if not isinstance(document, (int, float)) or isinstance(document, bool):
+            return [f"{path}: expected number, got {type(document).__name__}"]
+    elif expected == "integer":
+        if not isinstance(document, int) or isinstance(document, bool):
+            return [f"{path}: expected integer, got {type(document).__name__}"]
+    if "enum" in schema and document not in schema["enum"]:
+        problems.append(
+            f"{path}: {document!r} not one of {sorted(schema['enum'])}"
+        )
+    return problems
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative rule over a series window."""
+
+    name: str
+    series: str
+    kind: str = "threshold"          # threshold | budget-burn | trend
+    agg: str = "mean"                # aggregate for threshold rules
+    op: str = "<="                   # "good" direction of the comparison
+    value: float = 0.0               # bound (per-point bound for budget-burn)
+    window: int = 0                  # points considered (0 = whole buffer)
+    budget: int = 0                  # allowed violations (budget-burn only)
+    labels: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in RULE_KINDS:
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.agg not in AGGREGATES:
+            raise ValueError(f"unknown aggregate {self.agg!r}")
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    @classmethod
+    def from_dict(cls, body: Mapping[str, object]) -> "SloRule":
+        return cls(
+            name=str(body["name"]),
+            series=str(body["series"]),
+            kind=str(body.get("kind", "threshold")),
+            agg=str(body.get("agg", "mean")),
+            op=str(body.get("op", "<=")),
+            value=float(body["value"]),  # type: ignore[arg-type]
+            window=int(body.get("window", 0)),  # type: ignore[arg-type]
+            budget=int(body.get("budget", 0)),  # type: ignore[arg-type]
+            labels=dict(body.get("labels", {})),  # type: ignore[arg-type]
+        )
+
+
+def _holds(observed: float, op: str, value: float) -> bool:
+    if op == "<=":
+        return observed <= value
+    return observed >= value
+
+
+def _slope(points: Sequence[tuple]) -> float:
+    """Least-squares slope of value against tick (0.0 when degenerate)."""
+    n = len(points)
+    if n < 2:
+        return 0.0
+    mean_t = sum(t for t, _ in points) / n
+    mean_v = sum(v for _, v in points) / n
+    sxx = sum((t - mean_t) ** 2 for t, _ in points)
+    if sxx <= 0.0:
+        return 0.0
+    sxy = sum((t - mean_t) * (v - mean_v) for t, v in points)
+    return sxy / sxx
+
+
+def _select_points(
+    store: SeriesStore, rule: SloRule
+) -> List[tuple]:
+    """Pooled, windowed points of every series the rule selects.
+
+    A rule selects a series when the names are equal and the series'
+    label set *contains* every rule label -- so an unlabelled
+    ``decision.overhead`` rule pools across every strategy the store
+    mirrored.  Series contribute in sorted-key order and the pool is
+    stable-sorted by tick, so the selection is deterministic; the window
+    then keeps the last ``rule.window`` pooled points.
+    """
+    wanted = set(label_set(rule.labels))
+    pooled: List[tuple] = []
+    for name, labels in store.keys():
+        if name != rule.series or not wanted <= set(labels):
+            continue
+        pooled.extend(store.series(name, dict(labels)).points())
+    pooled.sort(key=lambda p: p[0])
+    if rule.window > 0:
+        pooled = pooled[-rule.window:]
+    return pooled
+
+
+def evaluate_rule(store: SeriesStore, rule: SloRule) -> Dict[str, object]:
+    """Evaluate one rule; returns a schema-versioned verdict record."""
+    labels = label_set(rule.labels)
+    points = _select_points(store, rule)
+    if rule.kind == "threshold":
+        summary = summarize(points)
+        observed = (
+            points[-1][1] if rule.agg == "last" and points
+            else 0.0 if rule.agg == "last"
+            else summary[rule.agg]
+        )
+        threshold = rule.value
+        ok = _holds(float(observed), rule.op, threshold)
+    elif rule.kind == "budget-burn":
+        burned = sum(
+            1 for _, v in points if not _holds(v, rule.op, rule.value)
+        )
+        observed, threshold = float(burned), float(rule.budget)
+        ok = burned <= rule.budget
+    else:  # trend
+        observed, threshold = _slope(points), rule.value
+        ok = _holds(observed, rule.op, threshold)
+    return {
+        "kind": "slo.verdict",
+        "schema": SLO_SCHEMA_VERSION,
+        "rule": rule.name,
+        "rule_kind": rule.kind,
+        "series": render_key(rule.series, labels),
+        "agg": rule.agg if rule.kind == "threshold" else rule.kind,
+        "op": rule.op,
+        "observed": float(observed),
+        "threshold": float(threshold),
+        "window": rule.window,
+        "points": len(points),
+        "ok": bool(ok),
+    }
+
+
+def evaluate_rules(
+    store: SeriesStore, rules: Sequence[SloRule]
+) -> List[Dict[str, object]]:
+    """Evaluate every rule in order against ``store``."""
+    return [evaluate_rule(store, rule) for rule in rules]
+
+
+def rules_from_json(
+    text_or_path: Union[str, Path], *, is_path: bool = False
+) -> List[SloRule]:
+    """Parse and validate a rules document (JSON text or file path)."""
+    if is_path or isinstance(text_or_path, Path):
+        text = Path(text_or_path).read_text()
+    else:
+        text = text_or_path
+    document = json.loads(text)
+    problems = validate_document(document, SLO_RULES_SCHEMA)
+    if problems:
+        raise ValueError("invalid SLO rules: " + "; ".join(problems))
+    return [SloRule.from_dict(body) for body in document["rules"]]
+
+
+def default_rules() -> List[SloRule]:
+    """Built-in rules mirroring the paper's measured telemetry claims."""
+    return [
+        # Figure 7: per-iteration strategy overhead stays in the
+        # 0.04-0.06 s band; we bound the windowed p99 at 0.1 s.
+        SloRule(name="decision-overhead-p99", series="decision.overhead",
+                kind="threshold", agg="p99", op="<=", value=0.1, window=50),
+        # Learning works: chosen-arm durations trend down (or flat)
+        # across the window rather than up.
+        SloRule(name="duration-trend", series="decision.duration",
+                kind="trend", op="<=", value=0.0, window=50),
+        # GP posterior uncertainty decays as observations accumulate.
+        SloRule(name="posterior-sd-trend", series="decision.posterior_sd",
+                kind="trend", op="<=", value=0.0, window=50),
+    ]
+
+
+def render_verdicts(verdicts: Sequence[Mapping[str, object]]) -> str:
+    """Human-readable verdict table (rule order preserved)."""
+    # Imported lazily: repro.evaluate imports repro.obs at module load.
+    from ..evaluate.report import format_table
+
+    rows = [
+        [
+            str(v["rule"]),
+            str(v["series"]),
+            str(v["agg"]),
+            f"{float(v['observed']):.4f}",
+            f"{v['op']} {float(v['threshold']):.4f}",
+            str(int(v["points"])),
+            "ok" if v["ok"] else "VIOLATED",
+        ]
+        for v in verdicts
+    ]
+    table = format_table(
+        ["rule", "series", "agg", "observed", "bound", "points", "verdict"],
+        rows,
+    )
+    violated = sum(1 for v in verdicts if not v["ok"])
+    tail = (f"{len(verdicts)} rules, {violated} violated"
+            if violated else f"{len(verdicts)} rules, all ok")
+    return table + "\n" + tail

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from .series import quantile
 from .sink import read_trace
 
 
@@ -29,7 +30,14 @@ class PhaseStats:
 
 @dataclass
 class StrategyStats:
-    """Aggregate of one strategy's decision-log records."""
+    """Aggregate of one strategy's decision-log records.
+
+    Beyond the count/total aggregates of schema 1, keeps the raw
+    per-decision overheads and the GP telemetry the decision log has
+    carried since PR 3 (acquisition value and posterior sd at the chosen
+    arm) so ``repro stats`` can report overhead tails and model-state
+    summaries instead of dropping them.
+    """
 
     strategy: str
     decisions: int = 0
@@ -38,10 +46,31 @@ class StrategyStats:
     total_duration: float = 0.0
     cells: int = 0
     cell_total: float = 0.0
+    overheads: List[float] = field(default_factory=list)
+    acquisitions: List[float] = field(default_factory=list)
+    posterior_sds: List[float] = field(default_factory=list)
 
     @property
     def mean_overhead(self) -> float:
         return self.total_overhead / self.decisions if self.decisions else 0.0
+
+    @property
+    def overhead_p95(self) -> float:
+        return quantile(self.overheads, 0.95)
+
+    @property
+    def overhead_p99(self) -> float:
+        return quantile(self.overheads, 0.99)
+
+    @property
+    def mean_acquisition(self) -> float:
+        return (sum(self.acquisitions) / len(self.acquisitions)
+                if self.acquisitions else 0.0)
+
+    @property
+    def mean_posterior_sd(self) -> float:
+        return (sum(self.posterior_sds) / len(self.posterior_sds)
+                if self.posterior_sds else 0.0)
 
 
 @dataclass
@@ -57,6 +86,7 @@ class TraceStats:
     strategies: Dict[str, StrategyStats] = field(default_factory=dict)
     spans: Dict[str, List[float]] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, dict] = field(default_factory=dict)
 
 
 def aggregate(records: Sequence[dict]) -> TraceStats:
@@ -82,6 +112,11 @@ def aggregate(records: Sequence[dict]) -> TraceStats:
             entry.arms.add(int(record.get("arm", -1)))
             entry.total_overhead += float(record.get("overhead_s", 0.0))
             entry.total_duration += float(record.get("duration", 0.0))
+            entry.overheads.append(float(record.get("overhead_s", 0.0)))
+            if "acquisition" in record:
+                entry.acquisitions.append(float(record["acquisition"]))
+            if "posterior_sd" in record:
+                entry.posterior_sds.append(float(record["posterior_sd"]))
         elif kind == "cell":
             name = str(record.get("strategy", "?"))
             entry = stats.strategies.setdefault(name, StrategyStats(name))
@@ -98,7 +133,47 @@ def aggregate(records: Sequence[dict]) -> TraceStats:
                 stats.counters[name] = (
                     stats.counters.get(name, 0) + int(value)
                 )
+            for name, body in dict(registry.get("histograms", {})).items():
+                _merge_histogram(stats.histograms, name, dict(body))
     return stats
+
+
+def _merge_histogram(into: Dict[str, dict], name: str, body: dict) -> None:
+    """Pool one summary-record histogram block into the aggregate.
+
+    Counts and totals add exactly; min/max take the extremes.  Quantiles
+    are not mergeable across summaries, so the pooled p95/p99 are the
+    count-weighted average of the per-summary values -- an approximation,
+    flagged as such in the rendered table header (``~p95``).
+    """
+    count = int(body.get("count", 0))
+    entry = into.setdefault(name, {
+        "count": 0, "total": 0.0,
+        "min": float("inf"), "max": float("-inf"),
+        "_wp95": 0.0, "_wp99": 0.0,
+    })
+    entry["count"] += count
+    entry["total"] += float(body.get("total", 0.0))
+    if count:
+        entry["min"] = min(entry["min"], float(body.get("min", 0.0)))
+        entry["max"] = max(entry["max"], float(body.get("max", 0.0)))
+        entry["_wp95"] += count * float(body.get("p95", 0.0))
+        entry["_wp99"] += count * float(body.get("p99", 0.0))
+
+
+def _histogram_row(name: str, entry: dict) -> dict:
+    """Plain rendering of one pooled histogram aggregate."""
+    count = entry["count"]
+    return {
+        "name": name,
+        "count": count,
+        "total": entry["total"],
+        "min": entry["min"] if count else 0.0,
+        "max": entry["max"] if count else 0.0,
+        "mean": entry["total"] / count if count else 0.0,
+        "p95": entry["_wp95"] / count if count else 0.0,
+        "p99": entry["_wp99"] / count if count else 0.0,
+    }
 
 
 def load_trace(path: Union[str, Path]) -> TraceStats:
@@ -107,7 +182,9 @@ def load_trace(path: Union[str, Path]) -> TraceStats:
 
 
 #: Bump when the `repro stats --format json` layout changes incompatibly.
-STATS_SCHEMA_VERSION = 1
+#: v2: strategy blocks carry overhead tails (p95/p99) and GP telemetry
+#: (mean acquisition / posterior sd); new top-level ``histograms``.
+STATS_SCHEMA_VERSION = 2
 
 
 def stats_to_json(stats: TraceStats) -> dict:
@@ -134,6 +211,10 @@ def stats_to_json(stats: TraceStats) -> dict:
                 "cells": s.cells,
                 "arms": sorted(s.arms),
                 "mean_overhead": s.mean_overhead,
+                "overhead_p95": s.overhead_p95,
+                "overhead_p99": s.overhead_p99,
+                "mean_acquisition": s.mean_acquisition,
+                "mean_posterior_sd": s.mean_posterior_sd,
                 "observed_total_s": s.total_duration,
             }
             for s in stats.strategies.values()
@@ -147,6 +228,11 @@ def stats_to_json(stats: TraceStats) -> dict:
             for name, durs in stats.spans.items()
         },
         "counters": dict(stats.counters),
+        "histograms": {
+            name: {k: v for k, v in _histogram_row(name, entry).items()
+                   if k != "name"}
+            for name, entry in stats.histograms.items()
+        },
     }
 
 
@@ -176,12 +262,24 @@ def render_stats(stats: TraceStats) -> str:
         out.append("per-strategy (decision log):")
         out.append(format_table(
             ["strategy", "decisions", "cells", "arms", f"overhead/iter [{unit}]",
-             "observed total [s]"],
+             f"p95 [{unit}]", f"p99 [{unit}]", "observed total [s]"],
             [[s.strategy, s.decisions, s.cells, len(s.arms),
-              f"{s.mean_overhead:.3f}", f"{s.total_duration:.3f}"]
+              f"{s.mean_overhead:.3f}", f"{s.overhead_p95:.3f}",
+              f"{s.overhead_p99:.3f}", f"{s.total_duration:.3f}"]
              for s in sorted(stats.strategies.values(),
                              key=lambda s: s.strategy)],
         ))
+        gp = [s for s in sorted(stats.strategies.values(),
+                                key=lambda s: s.strategy)
+              if s.acquisitions or s.posterior_sds]
+        if gp:
+            out.append("")
+            out.append("GP telemetry (posterior at the chosen arm):")
+            out.append(format_table(
+                ["strategy", "mean acquisition", "mean posterior sd"],
+                [[s.strategy, f"{s.mean_acquisition:.3f}",
+                  f"{s.mean_posterior_sd:.3f}"] for s in gp],
+            ))
     if stats.spans:
         out.append("")
         out.append("spans:")
@@ -197,5 +295,16 @@ def render_stats(stats: TraceStats) -> str:
         out.append(format_table(
             ["counter", "value"],
             [[name, stats.counters[name]] for name in sorted(stats.counters)],
+        ))
+    if stats.histograms:
+        out.append("")
+        out.append("histograms (pooled; ~p95/~p99 are count-weighted):")
+        out.append(format_table(
+            ["histogram", "count", "mean", "min", "max", "~p95", "~p99"],
+            [[row["name"], row["count"], f"{row['mean']:.3f}",
+              f"{row['min']:.3f}", f"{row['max']:.3f}",
+              f"{row['p95']:.3f}", f"{row['p99']:.3f}"]
+             for row in (_histogram_row(name, stats.histograms[name])
+                         for name in sorted(stats.histograms))],
         ))
     return "\n".join(out)

@@ -144,13 +144,27 @@ class Tracer:
         )
 
     def close(self) -> None:
-        """Emit the final registry summary and close the sink (idempotent)."""
+        """Emit the final registry summary and close the sink (idempotent).
+
+        The sink is closed even when emitting the summary raises (say the
+        disk filled mid-write): whatever was buffered before the failure
+        still reaches the file instead of dying with the process.
+        """
         if self._closed:
             return
         self._closed = True
-        if self.enabled:
-            self.event("summary", registry=self.registry.snapshot())
-        self.sink.close()
+        try:
+            if self.enabled:
+                self.event("summary", registry=self.registry.snapshot())
+        finally:
+            self.sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False  # never swallow the exception
 
 
 #: The process-wide disabled tracer; never closed, never replaced.
@@ -203,3 +217,20 @@ def finish_trace() -> None:
     tracer = set_tracer(NULL_TRACER)
     if tracer is not NULL_TRACER:
         tracer.close()
+
+
+@contextmanager
+def trace_session(
+    path: Optional[Union[str, Path]] = None, ticks: bool = False
+) -> Iterator[Tracer]:
+    """:func:`start_trace` paired with a guaranteed :func:`finish_trace`.
+
+    The exception-safe form of the start/finish pair: a body that raises
+    still gets its registry summary emitted and its sink closed, so the
+    trace on disk is complete up to the crash.
+    """
+    tracer = start_trace(path, ticks=ticks)
+    try:
+        yield tracer
+    finally:
+        finish_trace()

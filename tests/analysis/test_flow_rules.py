@@ -258,6 +258,40 @@ class TestPure001HotPathPurity:
         assert out == []
 
 
+class TestPurityFixpointConvergence:
+    def test_call_cycles_keep_evidence_bounded(self):
+        # Regression: evidence tags used to be re-wrapped per hop
+        # ("via f: via f: ..."), so any call cycle touching an IO
+        # function grew the evidence lists exponentially until the
+        # pass guard.  Root-cause tags keep the tag space finite.
+        from repro.analysis.flow.context import FlowContext
+
+        module = mk("src/pkg/m.py", """
+            def writer(x):
+                print(x)
+                return x
+
+            def rec(x):
+                if x:
+                    return rec(x - 1)
+                return writer(x)
+
+            def ping(x):
+                return pong(writer(x))
+
+            def pong(x):
+                return ping(x - 1) if x else x
+        """)
+        ctx = FlowContext.for_modules(None, [module])
+        report = ctx.purity
+        for name in ("rec", "ping", "pong"):
+            fp = report.functions[f"pkg.m.{name}"]
+            assert fp.transitive == "io"
+            assert len(fp.io) <= 4
+            for tag in fp.io:
+                assert tag.count("via ") <= 1
+
+
 class TestPool001Picklable:
     def test_positive_lambda(self):
         out = findings("POOL001", ("src/pkg/m.py", """

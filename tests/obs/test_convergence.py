@@ -1,0 +1,96 @@
+"""Convergence analytics: trajectory summaries over strategy replays."""
+
+import numpy as np
+import pytest
+
+from repro.evaluate.regret import regret_curves
+from repro.measure.bank import synthetic_bank
+from repro.obs.convergence import (
+    ConvergenceSummary,
+    analyze_convergence,
+    convergence_metrics,
+    render_convergence_table,
+    summary_to_dict,
+)
+
+ITERATIONS = 40
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return synthetic_bank(
+        lambda n: 20.0 - 1.5 * n + 0.06 * n * n,
+        actions=tuple(range(1, 17)),
+        noise_sd=0.3,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def summaries(bank):
+    return analyze_convergence(
+        bank, ["DC", "UCB", "GP-discontinuous"], ITERATIONS, REPS)
+
+
+class TestAnalyze:
+    def test_one_summary_per_strategy(self, summaries):
+        assert [s.strategy for s in summaries] == [
+            "DC", "UCB", "GP-discontinuous"]
+
+    def test_trajectory_shapes(self, summaries):
+        for s in summaries:
+            assert len(s.regret_trajectory) == ITERATIONS
+            assert s.reps == REPS
+            # Cumulative regret is non-decreasing (instant regret >= 0).
+            diffs = np.diff(s.regret_trajectory)
+            assert (diffs >= -1e-9).all()
+
+    def test_exploration_ratio_in_unit_interval(self, summaries):
+        for s in summaries:
+            assert 0.0 <= s.exploration_ratio <= 1.0
+
+    def test_gp_reports_posterior_decay(self, summaries):
+        gp = next(s for s in summaries if s.strategy == "GP-discontinuous")
+        assert len(gp.posterior_sd) == ITERATIONS
+        assert gp.sd_decay >= 0.0
+
+    def test_model_free_has_no_posterior(self, summaries):
+        dc = next(s for s in summaries if s.strategy == "DC")
+        assert dc.posterior_sd == []
+        assert dc.sd_decay == 1.0
+
+    def test_matches_regret_suite_seeds(self, bank, summaries):
+        """Same seed convention as evaluate.regret: identical trajectories."""
+        curves = regret_curves(bank, ["UCB"], ITERATIONS, REPS)
+        ucb = next(s for s in summaries if s.strategy == "UCB")
+        expected = curves["UCB"].cumulative
+        assert np.allclose(ucb.regret_trajectory, expected)
+
+    def test_deterministic(self, bank, summaries):
+        again = analyze_convergence(
+            bank, ["DC", "UCB", "GP-discontinuous"], ITERATIONS, REPS)
+        for a, b in zip(summaries, again):
+            assert summary_to_dict(a) == summary_to_dict(b)
+
+
+class TestRendering:
+    def test_table_sorted_by_regret(self, summaries):
+        text = render_convergence_table(summaries)
+        assert "iters-to-5%" in text
+        for s in summaries:
+            assert s.strategy in text
+
+    def test_never_converged_rendering(self):
+        s = ConvergenceSummary(
+            strategy="X", iterations=5, reps=1,
+            iters_to_5pct=float("inf"), final_cumulative_regret=9.0,
+            regret_trajectory=[1.0] * 5)
+        assert "never" in render_convergence_table([s])
+        assert summary_to_dict(s)["iters_to_5pct"] == -1.0
+
+    def test_metrics_keys_and_finite(self, summaries):
+        metrics = convergence_metrics(summaries)
+        assert "convergence.UCB.iters_to_5pct" in metrics
+        assert "convergence.GP-discontinuous.sd_decay" in metrics
+        assert all(np.isfinite(v) for v in metrics.values())

@@ -1,0 +1,92 @@
+"""Dashboard rendering: self-contained, deterministic, composable."""
+
+import pytest
+
+from repro.faults.models import canned_schedules
+from repro.measure.bank import synthetic_bank
+from repro.obs.convergence import analyze_convergence
+from repro.obs.dashboard import render_dashboard
+from repro.obs.forensics import (
+    analyze_detector,
+    default_configs,
+    duration_stream,
+    fire_detector,
+)
+from repro.obs.series import SeriesStore
+from repro.obs.slo import SloRule, evaluate_rules
+
+ITERATIONS = 40
+REPS = 2
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return synthetic_bank(
+        lambda n: 20.0 - 1.5 * n + 0.06 * n * n,
+        actions=tuple(range(1, 17)),
+        noise_sd=0.2,
+        seed=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def everything(bank):
+    schedules = canned_schedules(bank.n_total, ITERATIONS, seed=0)
+    convergence = analyze_convergence(
+        bank, ["DC", "GP-discontinuous"], ITERATIONS, REPS)
+    forensics, alarms = [], {}
+    for name in ("crash", "interference"):
+        for config in default_configs():
+            forensics.append(analyze_detector(
+                bank, schedules[name], config, ITERATIONS, REPS))
+            stream = duration_stream(bank, schedules[name], ITERATIONS, 0)
+            alarms[f"{name}/{config.key()}"] = fire_detector(config, stream)
+    store = SeriesStore()
+    for t in range(20):
+        store.record("decision.overhead", 0.01 * t,
+                     {"strategy": "DC"}, tick=t)
+    verdicts = evaluate_rules(store, [
+        SloRule(name="ok-rule", series="decision.overhead",
+                labels={"strategy": "DC"}, agg="p99", op="<=", value=1.0),
+        SloRule(name="bad-rule", series="decision.overhead",
+                labels={"strategy": "DC"}, agg="max", op="<=", value=0.01),
+    ])
+    return dict(convergence=convergence, forensics=forensics,
+                schedules=schedules, alarm_indices=alarms,
+                slo_verdicts=verdicts, store=store)
+
+
+class TestRendering:
+    def test_all_sections_present(self, everything):
+        page = render_dashboard(**everything)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Convergence (cumulative regret)" in page
+        assert "Fault forensics" in page
+        assert "SLO verdicts" in page
+        assert "<h2>Series</h2>" in page
+        assert "GP-discontinuous" in page
+        assert "VIOLATED" in page and ">ok<" in page
+
+    def test_self_contained(self, everything):
+        page = render_dashboard(**everything)
+        assert "<script" not in page
+        assert "http://" not in page and "https://" not in page
+        assert "<svg" in page
+
+    def test_byte_identical_rerender(self, everything):
+        assert render_dashboard(**everything) == render_dashboard(
+            **everything)
+
+    def test_empty_dashboard(self):
+        page = render_dashboard()
+        assert "no analytics sections supplied" in page
+
+    def test_sections_optional(self, everything):
+        page = render_dashboard(convergence=everything["convergence"])
+        assert "Convergence" in page
+        assert "Fault forensics" not in page
+
+    def test_title_escaped(self):
+        page = render_dashboard(title="<b>x&y</b>")
+        assert "<b>x&y</b>" not in page
+        assert "&lt;b&gt;x&amp;y&lt;/b&gt;" in page

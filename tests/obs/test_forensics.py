@@ -1,0 +1,249 @@
+"""Forensics join logic: properties, golden table, determinism.
+
+The golden table over the canned ``crash``/``interference`` schedules is
+committed at ``tests/goldens/forensics_crash_interference.txt``;
+regenerate after an intended change::
+
+    REPRO_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest \
+        tests/obs/test_forensics.py
+"""
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.faults.models import (
+    FaultSchedule,
+    InterferenceBurst,
+    NodeCrash,
+    STATIONARY,
+    canned_schedules,
+)
+from repro.obs.forensics import (
+    DEFAULT_HORIZON,
+    DetectorConfig,
+    PAGE_HINKLEY,
+    SLIDING_WINDOW,
+    analyze_detector,
+    best_config,
+    default_configs,
+    duration_stream,
+    fire_detector,
+    forensics_metrics,
+    join_alarms,
+    render_forensics_table,
+    render_sweep_table,
+    result_to_dict,
+    sweep_detectors,
+    sweep_grid,
+    truth_change_points,
+)
+from repro.measure.bank import synthetic_bank
+
+GOLDEN = Path(__file__).parent.parent / "goldens" / \
+    "forensics_crash_interference.txt"
+
+ITERATIONS = 60
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def bank():
+    # Low noise so fault shifts dominate; U-shaped duration curve.
+    return synthetic_bank(
+        lambda n: 20.0 - 1.5 * n + 0.06 * n * n,
+        actions=tuple(range(1, 17)),
+        noise_sd=0.2,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def schedules(bank):
+    return canned_schedules(bank.n_total, ITERATIONS, seed=0)
+
+
+class TestTruthChangePoints:
+    def test_stationary_has_none(self):
+        assert truth_change_points(STATIONARY, ITERATIONS) == []
+
+    def test_crash_onset_only(self):
+        schedule = FaultSchedule(
+            label="c", faults=(NodeCrash(node=4, start=20),))
+        assert truth_change_points(schedule, ITERATIONS) == [20]
+
+    def test_burst_onset_and_clearing(self):
+        schedule = FaultSchedule(
+            label="i",
+            faults=(InterferenceBurst(magnitude_s=1.0, start=20, end=40),))
+        assert truth_change_points(schedule, ITERATIONS) == [20, 40]
+
+    def test_fault_active_at_zero_is_baseline(self):
+        schedule = FaultSchedule(
+            label="c", faults=(NodeCrash(node=4, start=0),))
+        assert truth_change_points(schedule, ITERATIONS) == []
+
+
+class TestJoin:
+    def test_perfect_match(self):
+        join = join_alarms([20, 40], [21, 43])
+        assert join.matches == ((20, 21), (40, 43))
+        assert join.false_alarms == ()
+        assert join.missed == ()
+        assert join.latencies == (1, 3)
+
+    def test_early_alarm_is_false(self):
+        join = join_alarms([20], [10])
+        assert join.false_alarms == (10,)
+        assert join.missed == (20,)
+
+    def test_late_alarm_outside_horizon_is_false(self):
+        join = join_alarms([20], [20 + DEFAULT_HORIZON])
+        assert join.false_alarms == (20 + DEFAULT_HORIZON,)
+        assert join.missed == (20,)
+
+    def test_one_alarm_claims_one_change_point(self):
+        # Two alarms inside one horizon: first claims the cp, second is
+        # a false alarm (the detector double-fired).
+        join = join_alarms([20], [21, 24])
+        assert join.matches == ((20, 21),)
+        assert join.false_alarms == (24,)
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            join_alarms([1], [1], horizon=0)
+
+
+class TestProperties:
+    """The satellite property suite over joins and pooled scores."""
+
+    def test_precision_recall_in_unit_interval(self, bank, schedules):
+        for schedule in schedules.values():
+            for config in default_configs():
+                r = analyze_detector(bank, schedule, config,
+                                     ITERATIONS, REPS)
+                assert 0.0 <= r.precision <= 1.0
+                assert 0.0 <= r.recall <= 1.0
+                assert 0.0 <= r.f1 <= 1.0
+                assert r.false_alarm_rate >= 0.0
+
+    def test_zero_fault_schedule_all_firings_false(self, bank):
+        for config in default_configs():
+            r = analyze_detector(bank, STATIONARY, config,
+                                 ITERATIONS, REPS)
+            assert r.change_points == 0
+            assert r.detections == 0
+            assert r.false_alarms == r.alarms
+            assert r.recall == 1.0  # vacuous: nothing to detect
+
+    def test_detection_latency_non_negative(self, bank, schedules):
+        for schedule in schedules.values():
+            for config in default_configs():
+                r = analyze_detector(bank, schedule, config,
+                                     ITERATIONS, REPS)
+                assert all(lat >= 0 for lat in r.latencies)
+                assert r.mean_latency >= 0.0
+
+    def test_random_joins_stay_consistent(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            cps = sorted(rng.choice(ITERATIONS, size=3, replace=False))
+            alarms = sorted(rng.choice(ITERATIONS, size=4, replace=False))
+            join = join_alarms(cps, alarms)
+            assert len(join.matches) + len(join.missed) == len(cps)
+            assert len(join.matches) + len(join.false_alarms) == len(alarms)
+            assert all(lat >= 0 for lat in join.latencies)
+
+
+class TestAnalyze:
+    def test_crash_detected_by_both_families(self, bank, schedules):
+        for config in default_configs():
+            r = analyze_detector(bank, schedules["crash"], config,
+                                 ITERATIONS, REPS)
+            assert r.change_points == 1
+            assert r.recall > 0.0, config.key()
+            assert r.mean_latency >= 0.0
+
+    def test_stream_is_deterministic(self, bank, schedules):
+        a = duration_stream(bank, schedules["crash"], ITERATIONS, rep=1)
+        b = duration_stream(bank, schedules["crash"], ITERATIONS, rep=1)
+        assert np.array_equal(a, b)
+        c = duration_stream(bank, schedules["crash"], ITERATIONS, rep=2)
+        assert not np.array_equal(a, c)
+
+    def test_cooldown_thins_alarms(self, bank, schedules):
+        stream = duration_stream(bank, schedules["compound"], ITERATIONS)
+        free = fire_detector(
+            DetectorConfig(family=SLIDING_WINDOW, window=5, threshold=2.0,
+                           cooldown=0), stream)
+        cooled = fire_detector(
+            DetectorConfig(family=SLIDING_WINDOW, window=5, threshold=2.0,
+                           cooldown=10), stream)
+        assert len(cooled) <= len(free)
+        assert all(b - a >= 10 for a, b in zip(cooled, cooled[1:]))
+
+    def test_result_to_dict_plain(self, bank, schedules):
+        r = analyze_detector(bank, schedules["crash"], default_configs()[0],
+                             ITERATIONS, REPS)
+        body = result_to_dict(r)
+        assert body["schedule"] == "crash"
+        assert isinstance(body["f1"], float)
+
+    def test_metrics_keyed_by_family(self, bank, schedules):
+        results = [
+            analyze_detector(bank, schedules["crash"], config,
+                             ITERATIONS, REPS)
+            for config in default_configs()
+        ]
+        metrics = forensics_metrics(results)
+        assert "forensics.crash.page-hinkley.f1" in metrics
+        assert "forensics.crash.sliding-window.recall" in metrics
+
+
+class TestSweep:
+    def test_grid_covers_both_families(self):
+        grid = sweep_grid()
+        families = {c.family for c in grid}
+        assert families == {PAGE_HINKLEY, SLIDING_WINDOW}
+        assert len(grid) == len(set(c.key() for c in grid))
+
+    def test_sweep_ranked_and_deterministic(self, bank, schedules):
+        swept = [schedules["crash"], schedules["interference"]]
+        grid = default_configs() + [
+            DetectorConfig(family=PAGE_HINKLEY, threshold=6.0, delta=0.25)]
+        a = sweep_detectors(bank, swept, ITERATIONS, REPS, grid=grid)
+        b = sweep_detectors(bank, swept, ITERATIONS, REPS, grid=grid)
+        assert [r.config.key() for r in a] == [r.config.key() for r in b]
+        f1s = [row.mean_f1 for row in a]
+        assert f1s == sorted(f1s, reverse=True)
+        assert render_sweep_table(a) == render_sweep_table(b)
+        assert best_config(a) is a[0].config
+        assert best_config(a, SLIDING_WINDOW).family == SLIDING_WINDOW
+
+    def test_best_config_unknown_family(self, bank, schedules):
+        rows = sweep_detectors(bank, [schedules["crash"]], ITERATIONS, 1,
+                               grid=default_configs())
+        with pytest.raises(ValueError):
+            best_config(rows, "nope")
+
+
+class TestGolden:
+    def test_crash_interference_table_matches_golden(self, bank, schedules):
+        results = [
+            analyze_detector(bank, schedules[name], config,
+                             ITERATIONS, REPS)
+            for name in ("crash", "interference")
+            for config in default_configs()
+        ]
+        out = render_forensics_table(results) + "\n"
+        if os.environ.get("REPRO_REGEN_GOLDENS"):
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(out)
+            pytest.skip(f"regenerated {GOLDEN}")
+        assert GOLDEN.exists(), (
+            f"golden missing; run with REPRO_REGEN_GOLDENS=1 to create "
+            f"{GOLDEN}"
+        )
+        assert out == GOLDEN.read_text()

@@ -45,6 +45,28 @@ class TestHistogram:
     def test_empty_mean_is_zero(self):
         assert Registry().histogram("dur").mean == 0.0
 
+    def test_quantiles_nearest_rank(self):
+        h = Registry().histogram("dur")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Registry().histogram("dur").quantile(0.99) == 0.0
+
+    def test_quantile_window_is_bounded(self):
+        from repro.obs.registry import HISTOGRAM_SAMPLE_CAPACITY
+
+        h = Registry().histogram("dur")
+        n = HISTOGRAM_SAMPLE_CAPACITY * 2
+        for v in range(n):
+            h.observe(float(v))
+        # Ring keeps the newest window; the old half is gone.
+        assert h.quantile(0.0) == float(HISTOGRAM_SAMPLE_CAPACITY)
+        assert h.count == n
+
 
 class TestRegistry:
     def test_name_means_one_kind(self):
@@ -74,6 +96,7 @@ class TestRegistry:
         assert snap["gauges"] == {"g": 7.0}
         assert snap["histograms"]["h"] == {
             "count": 1, "total": 3.0, "min": 3.0, "max": 3.0, "mean": 3.0,
+            "p50": 3.0, "p95": 3.0, "p99": 3.0,
         }
 
     def test_snapshot_empty_histogram_min_max_zero(self):

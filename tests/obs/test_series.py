@@ -1,0 +1,222 @@
+"""Tests for the deterministic time-series store (obs/series.py)."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.obs.series import (
+    DEFAULT_CAPACITY,
+    Series,
+    SeriesSink,
+    SeriesStore,
+    get_store,
+    label_set,
+    quantile,
+    render_key,
+    set_store,
+    store_from_records,
+    summarize,
+)
+from repro.obs.sink import MemorySink, encode_record
+
+
+class TestQuantile:
+    def test_empty(self):
+        assert quantile([], 0.5) == 0
+
+    def test_singleton(self):
+        assert quantile([7.0], 0.0) == pytest.approx(7.0)
+        assert quantile([7.0], 1.0) == pytest.approx(7.0)
+
+    def test_nearest_rank(self):
+        values = list(range(1, 101))  # 1..100
+        assert quantile(values, 0.50) == pytest.approx(50.0)
+        assert quantile(values, 0.95) == pytest.approx(95.0)
+        assert quantile(values, 0.99) == pytest.approx(99.0)
+        assert quantile(values, 1.0) == pytest.approx(100.0)
+
+    def test_order_independent(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == quantile([1.0, 2.0, 3.0], 0.5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestSeries:
+    def test_append_and_points(self):
+        s = Series(capacity=4)
+        for i in range(3):
+            s.append(i, i * 10.0)
+        assert len(s) == 3
+        assert s.points() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+        assert s.last == pytest.approx(20.0)
+
+    def test_eviction_keeps_newest(self):
+        s = Series(capacity=3)
+        for i in range(10):
+            s.append(i, float(i))
+        assert len(s) == 3
+        assert s.values() == [7.0, 8.0, 9.0]
+        assert s.seen == 10
+
+    def test_window_slices_newest(self):
+        s = Series(capacity=8)
+        for i in range(5):
+            s.append(i, float(i))
+        assert s.values(window=2) == [3.0, 4.0]
+        assert s.values(window=99) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Series(capacity=0)
+
+
+class TestSummarize:
+    def test_empty_window(self):
+        out = summarize([])
+        assert out["count"] == 0
+        assert out["p99"] == 0
+        assert out["rate"] == 0
+
+    def test_aggregates(self):
+        points = [(float(t), float(v)) for t, v in enumerate([4, 2, 8, 6])]
+        out = summarize(points)
+        assert out["count"] == 4
+        assert out["mean"] == pytest.approx(5.0)
+        assert out["min"] == pytest.approx(2.0)
+        assert out["max"] == pytest.approx(8.0)
+        assert out["p50"] == pytest.approx(4.0)
+
+    def test_rate_is_first_to_last_per_tick(self):
+        # Counter sampled at ticks 0/5/10 with values 0/10/30.
+        out = summarize([(0.0, 0.0), (5.0, 10.0), (10.0, 30.0)])
+        assert out["rate"] == pytest.approx(3.0)
+
+    def test_rate_zero_span(self):
+        out = summarize([(5.0, 1.0), (5.0, 9.0)])
+        assert out["rate"] == 0
+
+
+class TestSeriesStore:
+    def test_label_order_independent(self):
+        store = SeriesStore()
+        store.record("m", 1.0, {"a": "x", "b": "y"}, tick=0)
+        store.record("m", 2.0, {"b": "y", "a": "x"}, tick=1)
+        assert len(store) == 1
+        assert store.series("m", {"a": "x", "b": "y"}).values() == [1.0, 2.0]
+
+    def test_window_missing_series(self):
+        store = SeriesStore()
+        assert store.window("nope")["count"] == 0
+
+    def test_snapshot_sorted_and_json_stable(self):
+        store = SeriesStore()
+        store.record("zeta", 1.0, tick=0)
+        store.record("alpha", 2.0, {"k": "v"}, tick=0)
+        snap = store.snapshot()
+        assert list(snap) == sorted(snap)
+        assert "alpha{k=v}" in snap
+        # Snapshot is byte-stable through canonical encoding.
+        assert encode_record(snap) == encode_record(store.snapshot())
+
+    def test_render_key(self):
+        assert render_key("m") == "m"
+        assert render_key("m", label_set({"b": 1, "a": 2})) == "m{a=2,b=1}"
+
+
+class TestSeriesSink:
+    def _decision(self, t, strategy="UCB", **extra):
+        rec = {
+            "kind": "decision", "t": t, "strategy": strategy,
+            "iteration": t, "arm": 4, "duration": 10.0 + t,
+            "overhead_s": 0.0,
+        }
+        rec.update(extra)
+        return rec
+
+    def test_forwards_to_inner_sink_unchanged(self):
+        store = SeriesStore()
+        inner = MemorySink()
+        sink = SeriesSink(store, inner)
+        rec = self._decision(1)
+        sink.emit(rec)
+        assert inner.records == [rec]
+
+    def test_mirrors_decision_fields(self):
+        store = SeriesStore()
+        sink = SeriesSink(store)
+        sink.emit(self._decision(1, acquisition=0.5, posterior_sd=2.0))
+        sink.emit(self._decision(2))
+        labels = {"strategy": "UCB"}
+        assert store.series("decision.duration", labels).values() == [11.0, 12.0]
+        assert store.series("decision.acquisition", labels).values() == [0.5]
+        assert store.series("decision.posterior_sd", labels).values() == [2.0]
+
+    def test_mirrors_cell_and_fault(self):
+        store = SeriesStore()
+        sink = SeriesSink(store)
+        sink.emit({"kind": "cell", "t": 3, "scenario": "b", "strategy": "DC",
+                   "total": 123.0})
+        sink.emit({"kind": "fault", "t": 4, "scale": 2.0, "shift": 0.1})
+        assert store.series(
+            "cell.total", {"scenario": "b", "strategy": "DC"}
+        ).values() == [123.0]
+        assert store.series("fault.scale").values() == [2.0]
+        assert store.series("fault.shift").values() == [0.1]
+
+    def test_ignores_unknown_and_non_numeric(self):
+        store = SeriesStore()
+        sink = SeriesSink(store)
+        sink.emit({"kind": "trace.start", "t": 0})
+        sink.emit({"kind": "decision", "t": 1, "duration": "oops"})
+        sink.emit({"kind": "decision", "duration": 1.0, "t": None})
+        assert len(store) == 0
+
+    def test_sample_registry(self):
+        registry = Registry()
+        registry.counter("hits").inc(3)
+        registry.gauge("depth").set(2.0)
+        registry.histogram("lat").observe(5.0)
+        store = SeriesStore()
+        sink = SeriesSink(store)
+        sink.sample_registry(registry, tick=1)
+        sink.sample_registry(registry, tick=2)
+        assert store.series("counter.hits").values() == [3.0, 3.0]
+        assert store.series("gauge.depth").values() == [2.0, 2.0]
+        assert store.series("histogram.lat.count").values() == [1.0, 1.0]
+        assert store.series("histogram.lat.mean").values() == [5.0, 5.0]
+
+    def test_store_from_records_matches_live(self):
+        records = [self._decision(t) for t in range(5)]
+        live_store = SeriesStore()
+        live = SeriesSink(live_store)
+        for rec in records:
+            live.emit(rec)
+        replayed = store_from_records(records)
+        assert encode_record(live_store.snapshot()) == encode_record(
+            replayed.snapshot()
+        )
+
+
+class TestActiveStore:
+    def test_default_none_and_restore(self):
+        assert get_store() is None
+        store = SeriesStore()
+        prev = set_store(store)
+        try:
+            assert prev is None
+            assert get_store() is store
+        finally:
+            set_store(prev)
+        assert get_store() is None
+
+
+def test_default_capacity_bounds_memory():
+    store = SeriesStore()
+    s = store.series("m")
+    for i in range(DEFAULT_CAPACITY * 3):
+        s.append(i, float(i))
+    assert len(s) == DEFAULT_CAPACITY
+    assert s.seen == DEFAULT_CAPACITY * 3

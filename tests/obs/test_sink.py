@@ -12,8 +12,11 @@ from repro.obs import (
     Tracer,
     encode_record,
     finish_trace,
+    get_tracer,
+    NULL_TRACER,
     read_trace,
     start_trace,
+    trace_session,
 )
 
 
@@ -116,3 +119,74 @@ class TestByteReproducibility:
         records = read_trace(path)
         assert records[0]["clock"] == "wall"
         assert records[0]["wall_time"] > 0.0
+
+
+class TestExceptionPaths:
+    """A crashing run never truncates or loses buffered trace lines."""
+
+    def test_sink_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with JsonlSink(path) as sink:
+                for i in range(100):
+                    sink.emit({"kind": "event", "i": i})
+                raise RuntimeError("boom")
+        # Everything emitted before the crash is on disk, parseable.
+        records = read_trace(path)
+        assert len(records) == 100
+        assert records[-1] == {"kind": "event", "i": 99}
+
+    def test_tracer_context_manager_emits_summary_on_exception(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError, match="boom"):
+            with Tracer(sink=JsonlSink(path), clock=TickClock()) as tr:
+                tr.header()
+                tr.count("work.done", 7)
+                raise RuntimeError("boom")
+        records = read_trace(path)
+        assert records[-1]["kind"] == "summary"
+        assert records[-1]["registry"]["counters"]["work.done"] == 7
+
+    def test_trace_session_restores_null_tracer_on_exception(
+            self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with pytest.raises(RuntimeError, match="mid-run"):
+            with trace_session(path, ticks=True) as tracer:
+                # The injected mid-run exception of the satellite spec:
+                # crash halfway through an instrumented campaign loop.
+                for i in range(50):
+                    tracer.event("decision", arm=i, duration=1.0)
+                    if i == 24:
+                        raise RuntimeError("mid-run failure")
+        assert get_tracer() is NULL_TRACER
+        records = read_trace(path)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "trace.start"
+        assert kinds[-1] == "summary"
+        assert kinds.count("decision") == 25
+
+    def test_tracer_close_survives_failing_summary_emit(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+
+        class ExplodingSink(JsonlSink):
+            def emit(self, record):
+                if record.get("kind") == "summary":
+                    raise OSError("disk full")
+                super().emit(record)
+
+        sink = ExplodingSink(path)
+        tracer = Tracer(sink=sink, clock=TickClock())
+        tracer.header()
+        tracer.event("decision", arm=1)
+        with pytest.raises(OSError, match="disk full"):
+            tracer.close()
+        # The sink was still closed: pre-crash records reached the file.
+        assert sink._fh is None
+        records = read_trace(path)
+        assert [r["kind"] for r in records] == ["trace.start", "decision"]
+
+    def test_memory_sink_context_manager(self):
+        with MemorySink() as sink:
+            sink.emit({"kind": "a"})
+        assert sink.records == [{"kind": "a"}]

@@ -1,0 +1,231 @@
+"""Tests for the declarative SLO rule engine (obs/slo.py)."""
+
+import json
+
+import pytest
+
+from repro.obs.series import SeriesStore
+from repro.obs.slo import (
+    SLO_RULES_SCHEMA,
+    SLO_SCHEMA_VERSION,
+    SloRule,
+    default_rules,
+    evaluate_rule,
+    evaluate_rules,
+    render_verdicts,
+    rules_from_json,
+    validate_document,
+)
+
+
+def make_store():
+    store = SeriesStore()
+    for t in range(10):
+        store.record("lat", float(t), tick=t)            # 0..9 rising
+        store.record("sd", 10.0 - t, tick=t)             # falling
+        store.record("cost", 5.0, {"tenant": "a"}, tick=t)
+    return store
+
+
+class TestValidator:
+    def test_valid_document(self):
+        doc = {"rules": [{"name": "r", "series": "lat", "kind": "threshold",
+                          "op": "<=", "value": 1.0}]}
+        assert validate_document(doc, SLO_RULES_SCHEMA) == []
+
+    def test_missing_required(self):
+        doc = {"rules": [{"name": "r"}]}
+        problems = validate_document(doc, SLO_RULES_SCHEMA)
+        assert any("series" in p for p in problems)
+        assert any("value" in p for p in problems)
+
+    def test_wrong_types_and_enum(self):
+        doc = {"rules": [{"name": 3, "series": "lat", "kind": "nope",
+                          "op": "<=", "value": "high"}]}
+        problems = validate_document(doc, SLO_RULES_SCHEMA)
+        assert any("expected string" in p for p in problems)
+        assert any("not one of" in p for p in problems)
+        assert any("expected number" in p for p in problems)
+
+    def test_top_level_not_object(self):
+        assert validate_document([], SLO_RULES_SCHEMA)
+
+    def test_bool_is_not_a_number(self):
+        doc = {"rules": [{"name": "r", "series": "s", "kind": "threshold",
+                          "op": "<=", "value": True}]}
+        assert validate_document(doc, SLO_RULES_SCHEMA)
+
+
+class TestRuleConstruction:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloRule(name="r", series="s", kind="bogus")
+
+    def test_bad_agg(self):
+        with pytest.raises(ValueError, match="aggregate"):
+            SloRule(name="r", series="s", agg="p42")
+
+    def test_bad_op(self):
+        with pytest.raises(ValueError, match="operator"):
+            SloRule(name="r", series="s", op="<")
+
+    def test_rules_from_json_round_trip(self):
+        text = json.dumps({"rules": [
+            {"name": "r1", "series": "lat", "kind": "threshold",
+             "agg": "p95", "op": "<=", "value": 8.0, "window": 5},
+            {"name": "r2", "series": "lat", "kind": "budget-burn",
+             "op": "<=", "value": 7.0, "budget": 2},
+        ]})
+        rules = rules_from_json(text)
+        assert [r.name for r in rules] == ["r1", "r2"]
+        assert rules[0].agg == "p95"
+        assert rules[1].budget == 2
+
+    def test_rules_from_json_invalid_raises(self):
+        with pytest.raises(ValueError, match="invalid SLO rules"):
+            rules_from_json(json.dumps({"rules": [{"name": "r"}]}))
+
+    def test_rules_from_path(self, tmp_path):
+        p = tmp_path / "rules.json"
+        p.write_text(json.dumps({"rules": [
+            {"name": "r", "series": "lat", "kind": "threshold",
+             "op": "<=", "value": 100.0}]}))
+        assert len(rules_from_json(p)) == 1
+
+
+class TestThreshold:
+    def test_pass_and_fail(self):
+        store = make_store()
+        ok = evaluate_rule(store, SloRule(
+            name="r", series="lat", agg="max", op="<=", value=9.0))
+        bad = evaluate_rule(store, SloRule(
+            name="r", series="lat", agg="max", op="<=", value=8.0))
+        assert ok["ok"] is True and bad["ok"] is False
+        assert ok["schema"] == SLO_SCHEMA_VERSION
+        assert ok["observed"] == pytest.approx(9.0)
+
+    def test_windowed_aggregate(self):
+        store = make_store()
+        # Last 3 points of lat are 7, 8, 9.
+        v = evaluate_rule(store, SloRule(
+            name="r", series="lat", agg="min", op=">=", value=7.0, window=3))
+        assert v["ok"] is True and v["points"] == 3
+
+    def test_labelled_series(self):
+        store = make_store()
+        v = evaluate_rule(store, SloRule(
+            name="r", series="cost", labels={"tenant": "a"},
+            agg="mean", op="<=", value=5.0))
+        assert v["ok"] is True
+        assert v["series"] == "cost{tenant=a}"
+
+    def test_unlabelled_rule_pools_labelled_series(self):
+        store = SeriesStore()
+        store.record("cost", 1.0, {"tenant": "a"}, tick=0)
+        store.record("cost", 3.0, {"tenant": "b"}, tick=1)
+        v = evaluate_rule(store, SloRule(
+            name="r", series="cost", agg="max", op="<=", value=3.0))
+        assert v["points"] == 2 and v["ok"] is True
+        assert v["observed"] == pytest.approx(3.0)
+
+    def test_rule_labels_select_subset_only(self):
+        store = SeriesStore()
+        store.record("cost", 1.0, {"tenant": "a"}, tick=0)
+        store.record("cost", 9.0, {"tenant": "b"}, tick=1)
+        v = evaluate_rule(store, SloRule(
+            name="r", series="cost", labels={"tenant": "a"},
+            agg="max", op="<=", value=1.0))
+        assert v["points"] == 1 and v["ok"] is True
+
+    def test_pooled_window_spans_series(self):
+        store = SeriesStore()
+        for t in range(4):
+            store.record("cost", float(t), {"tenant": "a"}, tick=t)
+            store.record("cost", float(t) + 0.5, {"tenant": "b"}, tick=t)
+        # Pool is tick-sorted; the last 3 pooled points are 3.5, ...
+        v = evaluate_rule(store, SloRule(
+            name="r", series="cost", agg="count", op=">=", value=3.0,
+            window=3))
+        assert v["points"] == 3
+
+    def test_last_aggregate(self):
+        store = make_store()
+        v = evaluate_rule(store, SloRule(
+            name="r", series="lat", agg="last", op=">=", value=9.0))
+        assert v["ok"] is True
+
+    def test_missing_series_evaluates_empty(self):
+        v = evaluate_rule(SeriesStore(), SloRule(
+            name="r", series="ghost", agg="count", op=">=", value=1.0))
+        assert v["ok"] is False and v["points"] == 0
+
+
+class TestBudgetBurn:
+    def test_within_budget(self):
+        store = make_store()
+        # lat values 0..9 with bound <= 6.0: three violations (7, 8, 9).
+        v = evaluate_rule(store, SloRule(
+            name="r", series="lat", kind="budget-burn",
+            op="<=", value=6.0, budget=3))
+        assert v["observed"] == pytest.approx(3.0)
+        assert v["ok"] is True
+
+    def test_over_budget(self):
+        store = make_store()
+        v = evaluate_rule(store, SloRule(
+            name="r", series="lat", kind="budget-burn",
+            op="<=", value=6.0, budget=2))
+        assert v["ok"] is False
+
+
+class TestTrend:
+    def test_rising_series_violates_flat_bound(self):
+        store = make_store()
+        v = evaluate_rule(store, SloRule(
+            name="r", series="lat", kind="trend", op="<=", value=0.0))
+        assert v["observed"] == pytest.approx(1.0)
+        assert v["ok"] is False
+
+    def test_falling_series_passes(self):
+        store = make_store()
+        v = evaluate_rule(store, SloRule(
+            name="r", series="sd", kind="trend", op="<=", value=0.0))
+        assert v["observed"] == pytest.approx(-1.0)
+        assert v["ok"] is True
+
+    def test_degenerate_window_slope_zero(self):
+        store = SeriesStore()
+        store.record("one", 5.0, tick=3)
+        v = evaluate_rule(store, SloRule(
+            name="r", series="one", kind="trend", op="<=", value=0.0))
+        assert v["observed"] == 0
+
+
+class TestRendering:
+    def test_render_and_order_preserved(self):
+        store = make_store()
+        rules = [
+            SloRule(name="z-last", series="lat", agg="max", op="<=",
+                    value=9.0),
+            SloRule(name="a-first", series="lat", kind="trend", op="<=",
+                    value=0.0),
+        ]
+        verdicts = evaluate_rules(store, rules)
+        assert [v["rule"] for v in verdicts] == ["z-last", "a-first"]
+        text = render_verdicts(verdicts)
+        assert "VIOLATED" in text
+        assert "1 violated" in text
+        assert text.index("z-last") < text.index("a-first")
+
+    def test_all_ok_summary(self):
+        store = make_store()
+        verdicts = evaluate_rules(store, [SloRule(
+            name="r", series="lat", agg="max", op="<=", value=9.0)])
+        assert "all ok" in render_verdicts(verdicts)
+
+
+def test_default_rules_are_valid_and_evaluate():
+    store = make_store()
+    verdicts = evaluate_rules(store, default_rules())
+    assert len(verdicts) == 3
+    assert all(v["schema"] == SLO_SCHEMA_VERSION for v in verdicts)

@@ -1,0 +1,105 @@
+"""Opt-in series-store instrumentation of the harness and campaigns.
+
+The store contract mirrors the tracer's: feeding is **opt-in** (a
+module-global that defaults to ``None``), **inert** (experiment outputs
+are bit-identical with the store on or off) and **worker-count
+independent** (the fed points are keyed by deterministic input order).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluate import plan_cells, run_cells
+from repro.evaluate.faults_campaign import run_campaign
+from repro.faults import canned_schedules
+from repro.measure import synthetic_bank
+from repro.obs import SeriesStore, get_store, set_store
+
+ITERATIONS = 20
+REPS = 2
+
+
+@pytest.fixture()
+def bank():
+    return synthetic_bank(
+        f=lambda n: 12.0 + 24.0 / n + 0.8 * n,
+        actions=range(2, 11),
+        noise_sd=0.3,
+        seed=3,
+        label="sfeed",
+    )
+
+
+@pytest.fixture(autouse=True)
+def no_store_leak():
+    """Every test starts and ends with the store disabled."""
+    set_store(None)
+    yield
+    set_store(None)
+
+
+def _run(bank, workers, store=None):
+    previous = set_store(store)
+    try:
+        cells = plan_cells(["sfeed"], ["DC", "UCB"], REPS,
+                           include_baselines=False)
+        return run_cells({"sfeed": bank}, cells, ITERATIONS,
+                         workers=workers)
+    finally:
+        set_store(previous)
+
+
+class TestHarnessFeed:
+    def test_default_feeds_nothing(self, bank):
+        _run(bank, workers=1)
+        assert get_store() is None
+
+    def test_cell_totals_recorded(self, bank):
+        store = SeriesStore()
+        results = _run(bank, workers=1, store=store)
+        series = store.series("harness.cell_total",
+                              {"scenario": "sfeed", "strategy": "DC"})
+        assert len(series) == REPS
+        recorded = sorted(series.values())
+        expected = sorted(r.total for r in results
+                          if r.cell.strategy == "DC")
+        assert recorded == pytest.approx(expected)
+
+    def test_feed_is_worker_count_independent(self, bank):
+        s1, s2 = SeriesStore(), SeriesStore()
+        _run(bank, workers=1, store=s1)
+        _run(bank, workers=2, store=s2)
+        assert s1.keys() == s2.keys()
+        for name, labels in s1.keys():
+            assert (s1.series(name, dict(labels)).points()
+                    == s2.series(name, dict(labels)).points())
+
+    def test_feeding_is_inert(self, bank):
+        plain = _run(bank, workers=1)
+        fed = _run(bank, workers=1, store=SeriesStore())
+        for a, b in zip(plain, fed):
+            assert a.total == b.total
+            assert np.array_equal(a.chosen, b.chosen)
+            assert np.array_equal(a.durations, b.durations)
+
+
+class TestCampaignFeed:
+    def test_campaign_rows_mirrored(self, bank):
+        store = SeriesStore()
+        schedules = {"crash": canned_schedules(
+            bank.n_total, ITERATIONS, seed=0)["crash"]}
+        previous = set_store(store)
+        try:
+            result = run_campaign(
+                bank, schedules=schedules, strategies=["UCB"],
+                iterations=ITERATIONS, reps=REPS,
+            )
+        finally:
+            set_store(previous)
+        regret = store.series("campaign.regret",
+                              {"schedule": "crash", "strategy": "UCB"})
+        total = store.series("campaign.total",
+                             {"schedule": "crash", "strategy": "UCB"})
+        assert len(regret) == 1 and len(total) == 1
+        assert regret.last == pytest.approx(result.rows[0].mean_regret)
+        assert total.last == pytest.approx(result.rows[0].mean_total)

@@ -1,0 +1,189 @@
+"""Characterization of the `repro obs` telemetry-analytics CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "8")
+    monkeypatch.setenv("REPRO_TILES_128", "8")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "banks"))
+    monkeypatch.chdir(tmp_path)
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """One tick-clock trace shared by the series/slo/dash tests."""
+    import os
+
+    base = tmp_path_factory.mktemp("obs-cli")
+    path = base / "trace.jsonl"
+    overrides = {"REPRO_TILES_101": "8", "REPRO_TILES_128": "8",
+                 "REPRO_CACHE_DIR": str(base / "banks")}
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update(overrides)
+    try:
+        assert main(["compare", "b", "--reps", "2",
+                     "--trace", str(path), "--trace-ticks"]) == 0
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return path
+
+
+SMALL = ["--iterations", "20", "--reps", "2"]
+
+
+class TestObsSeries:
+    def test_renders_mirrored_series(self, trace_path, capsys):
+        assert main(["obs", "series", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "decision.overhead{strategy=" in out
+        assert "cell.total{" in out
+        assert "p99" in out and "rate" in out
+
+    def test_window_flag_bounds_counts(self, trace_path, capsys):
+        assert main(["obs", "series", str(trace_path),
+                     "--window", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "last 5 points" in out
+
+    def test_empty_trace_reports_nothing(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["obs", "series", str(empty)]) == 0
+        assert "no mirrored series" in capsys.readouterr().out
+
+
+class TestObsSlo:
+    def test_default_rules_evaluate(self, trace_path, capsys):
+        assert main(["obs", "slo", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "decision-overhead-p99" in out
+        assert "3 rules" in out
+
+    def test_custom_rules_file(self, trace_path, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [
+            {"name": "decisions-exist", "series": "decision.duration",
+             "kind": "threshold", "agg": "count", "op": ">=", "value": 1.0},
+        ]}))
+        assert main(["obs", "slo", str(trace_path),
+                     "--rules", str(rules)]) == 0
+        out = capsys.readouterr().out
+        assert "decisions-exist" in out
+        assert "all ok" in out
+
+    def test_strict_violation_exits_1(self, trace_path, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [
+            {"name": "impossible", "series": "decision.duration",
+             "kind": "threshold", "agg": "count", "op": "<=",
+             "value": -1.0},
+        ]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "slo", str(trace_path), "--rules", str(rules),
+                  "--strict"])
+        assert exc.value.code == 1
+
+    def test_invalid_rules_exit_2(self, trace_path, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [{"name": "r"}]}))
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "slo", str(trace_path), "--rules", str(rules)])
+        assert exc.value.code == 2
+        assert "invalid SLO rules" in capsys.readouterr().err
+
+
+class TestObsForensics:
+    def test_scores_both_families(self, capsys):
+        assert main(["obs", "forensics", "b", "--schedules", "crash",
+                     *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "ph(t=6,d=0.25,c=8)" in out
+        assert "sw(w=10,t=3,c=8)" in out
+        assert "precision" in out and "latency" in out
+
+    def test_out_artifact_carries_both_metric_families(self, tmp_path,
+                                                       capsys):
+        out_path = tmp_path / "BENCH_forensics.json"
+        assert main(["obs", "forensics", "b", "--schedules", "crash",
+                     "--strategies", "UCB", *SMALL,
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out_path.read_text())
+        assert payload["label"].startswith("obs-forensics")
+        keys = set(payload["metrics"])
+        assert any(k.startswith("forensics.crash.page-hinkley.")
+                   for k in keys)
+        assert any(k.startswith("forensics.crash.sliding-window.")
+                   for k in keys)
+        assert "convergence.UCB.cumulative_regret" in keys
+        assert payload["results"]
+
+    def test_sweep_ranks_configs(self, capsys):
+        assert main(["obs", "forensics", "b", "--schedules", "crash",
+                     *SMALL, "--sweep", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out and "mean F1" in out
+        # --top bounds the table to 5 ranked rows.
+        assert " 5  " in out and " 6  " not in out
+
+    def test_unknown_schedule_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "forensics", "b", "--schedules", "meteor",
+                  *SMALL])
+        assert exc.value.code == 2
+        assert "unknown schedule" in capsys.readouterr().err
+
+
+class TestObsConvergence:
+    def test_renders_summary_table(self, capsys):
+        assert main(["obs", "convergence", "b", "--strategies", "UCB",
+                     "GP-discontinuous", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "iters-to-5%" in out
+        assert "UCB" in out and "GP-discontinuous" in out
+
+    def test_unknown_strategy_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "convergence", "b", "--strategies", "Psychic",
+                  *SMALL])
+        assert exc.value.code == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+
+class TestObsDash:
+    DASH = ["obs", "dash", "b", "--schedules", "crash",
+            "--strategies", "UCB", *SMALL]
+
+    def test_writes_self_contained_html(self, tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert main([*self.DASH, "--out", str(out)]) == 0
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert "Convergence" in html and "forensics" in html
+
+    def test_double_render_is_byte_identical(self, tmp_path, capsys):
+        a, b = tmp_path / "a.html", tmp_path / "b.html"
+        assert main([*self.DASH, "--out", str(a)]) == 0
+        assert main([*self.DASH, "--out", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_trace_enables_series_and_slo_sections(self, trace_path,
+                                                   tmp_path, capsys):
+        out = tmp_path / "dash.html"
+        assert main([*self.DASH, "--out", str(out),
+                     "--trace", str(trace_path)]) == 0
+        html = out.read_text()
+        assert "SLO verdicts" in html
+        assert "<h2>Series</h2>" in html

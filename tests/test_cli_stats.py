@@ -78,6 +78,7 @@ JSON_SCHEMA = {
     "strategies": dict,
     "spans": dict,
     "counters": dict,
+    "histograms": dict,
 }
 
 
@@ -91,7 +92,7 @@ class TestStatsJson:
         assert set(payload) == set(JSON_SCHEMA)
         for key, expected in JSON_SCHEMA.items():
             assert isinstance(payload[key], expected), (key, payload[key])
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["clock"] == "ticks"
 
     def test_phase_and_strategy_blocks(self, payload):
@@ -100,8 +101,22 @@ class TestStatsJson:
             assert set(block) == {"sims", "total_s", "mean_s"}
         for block in payload["strategies"].values():
             assert set(block) == {"decisions", "cells", "arms",
-                                  "mean_overhead", "observed_total_s"}
+                                  "mean_overhead", "overhead_p95",
+                                  "overhead_p99", "mean_acquisition",
+                                  "mean_posterior_sd", "observed_total_s"}
             assert block["arms"] == sorted(block["arms"])
+            assert block["overhead_p95"] <= block["overhead_p99"]
+
+    def test_gp_telemetry_surfaced(self, payload):
+        gp = [b for name, b in payload["strategies"].items()
+              if name.startswith("GP")]
+        assert gp, "compare runs include GP strategies"
+        assert any(b["mean_posterior_sd"] > 0.0 for b in gp)
+
+    def test_histograms_have_quantiles(self, payload):
+        for block in payload["histograms"].values():
+            assert {"count", "total", "min", "max", "mean",
+                    "p95", "p99"} == set(block)
 
     def test_json_agrees_with_text_rendering(self, payload, trace_path,
                                              capsys):
