@@ -18,6 +18,8 @@ Examples
     python -m repro perf check b            # gate against the baseline
     python -m repro faults list             # canned fault schedules
     python -m repro faults run i --reps 5   # raw vs resilient campaign
+    python -m repro serve bench             # multi-tenant tuning bench
+    python -m repro serve run --port 8902   # live JSONL tuning service
     python -m repro fuzz run --count 24     # strategy properties on a corpus
     python -m repro fuzz replay             # committed regression scenarios
     python -m repro fuzz promote 4 --strategy UCB --check regret-bound
@@ -217,6 +219,7 @@ def _cmd_perf_record(args) -> None:
         bench_path=args.bench or None,
         simfast_path=args.simfast_bench or None,
         forensics_path=args.forensics_bench or None,
+        serve_path=args.serve_bench or None,
     )
     label = args.label or args.scenario
     ledger = PerfLedger(args.ledger)
@@ -253,6 +256,7 @@ def _cmd_perf_check(args) -> None:
         bench_path=args.bench or None,
         simfast_path=args.simfast_bench or None,
         forensics_path=args.forensics_bench or None,
+        serve_path=args.serve_bench or None,
     )
     label = args.label or args.scenario
     report = check_against_ledger(
@@ -368,12 +372,20 @@ def _cmd_obs_forensics(args) -> None:
         default_configs,
         forensics_metrics,
         render_forensics_table,
+        render_resilience_table,
         render_sweep_table,
         sweep_detectors,
+        sweep_resilience,
     )
     from .platform import get_scenario
 
     _obs_validate_strategies(args)
+    from .faults.resilience import RESILIENT_BASES
+
+    if args.sweep and args.inner not in RESILIENT_BASES:
+        print(f"error: unknown --inner {args.inner!r}; wrappable bases: "
+              f"{list(RESILIENT_BASES)}", file=sys.stderr)
+        sys.exit(2)
     bank = cached_bank(get_scenario(args.scenario), progress=True)
     schedules = _obs_schedules(args, bank)
     ordered = [schedules[key] for key in sorted(schedules)]
@@ -387,6 +399,15 @@ def _cmd_obs_forensics(args) -> None:
               f"{len(ordered)} schedule(s), reps={args.reps}, "
               f"iterations={args.iterations}")
         print(render_sweep_table(rows, top=args.top))
+        res_rows = sweep_resilience(
+            bank, ordered, inner=args.inner, iterations=args.iterations,
+            reps=args.reps, base_seed=args.seed,
+        )
+        print(f"resilience replay sweep on {bank.label}: "
+              f"{len(res_rows)} (window, cooldown) configs of "
+              f"Resilient({args.inner}), reps={args.reps}, "
+              f"iterations={args.iterations}")
+        print(render_resilience_table(res_rows, top=args.top))
         return
 
     configs = default_configs(cooldown=args.cooldown)
@@ -582,6 +603,70 @@ def _cmd_faults_run(args) -> None:
         if args.out:
             path = write_campaign_report(result, path=args.out)
             print(f"  report : {path}")
+
+
+def _cmd_serve_bench(args) -> None:
+    from .serve.loadgen import (
+        render_bench_summary,
+        run_bench,
+        write_serve_report,
+    )
+
+    if args.tenants < 1:
+        print(f"error: --tenants must be >= 1, got {args.tenants}",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.p99_bound <= 0:
+        print(f"error: --p99-bound must be positive, got {args.p99_bound}",
+              file=sys.stderr)
+        sys.exit(2)
+    report = run_bench(
+        tenants=args.tenants,
+        shards=args.shards,
+        seed=args.seed,
+        fuzz_count=args.fuzz,
+        arrival_window=args.arrival_window,
+        p99_bound=args.p99_bound,
+        progress=None if args.quiet else (lambda m: print(f"  {m}")),
+    )
+    print(render_bench_summary(report, shards=args.shards))
+    if args.out:
+        path = write_serve_report(report, path=args.out)
+        print(f"  report : {path}")
+    if not report["ok"]:
+        sys.exit(1)
+
+
+def _cmd_serve_run(args) -> None:
+    import asyncio
+
+    from .serve.service import TuningService, serve_forever
+
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        sys.exit(2)
+    if args.tick_interval <= 0:
+        print(f"error: --tick-interval must be positive, got "
+              f"{args.tick_interval}", file=sys.stderr)
+        sys.exit(2)
+    service = TuningService(num_shards=args.shards, base_seed=args.seed)
+    print(f"repro serve: JSONL tuning service on "
+          f"{args.host}:{args.port} ({args.shards} shard(s), "
+          f"tick every {args.tick_interval:g}s) -- Ctrl-C stops")
+    try:
+        asyncio.run(serve_forever(
+            service, host=args.host, port=args.port,
+            tick_interval=args.tick_interval))
+    except KeyboardInterrupt:
+        snap = service.snapshot()
+        print(f"\nstopped after {snap['ticks']} tick(s): "
+              f"{snap['active_tenants']} live session(s), "
+              f"{snap['retired_tenants']} retired")
 
 
 def _fuzz_validate(args) -> None:
@@ -1053,6 +1138,10 @@ def build_parser() -> argparse.ArgumentParser:
         pp.add_argument("--forensics-bench", default="",
                         help="BENCH_forensics.json to merge (informational "
                              "forensics.* and convergence.* analytics)")
+        pp.add_argument("--serve-bench", default="",
+                        help="BENCH_serve.json to merge (serve.* metrics "
+                             "incl. the gated serve.propose_p99_ticks and "
+                             "serve.errors)")
 
     pp = perf_sub.add_parser(
         "record", help="append the current run's aggregates to the ledger"
@@ -1121,6 +1210,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_args(pp)
     pp.set_defaults(fn=_cmd_faults_run)
 
+    p = sub.add_parser("serve", help="tuning-as-a-service front end")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+
+    pp = serve_sub.add_parser(
+        "bench", help="deterministic multi-tenant load generator"
+    )
+    pp.add_argument("--tenants", type=int, default=500,
+                    help="simulated tenant population size")
+    pp.add_argument("--shards", type=int, default=4,
+                    help="shard workers (the report is byte-identical "
+                         "across shard counts)")
+    pp.add_argument("--seed", type=int, default=0,
+                    help="population seed (tenant mix + client streams)")
+    pp.add_argument("--fuzz", type=int, default=4,
+                    help="fuzzed platforms mixed into the scenario pool")
+    pp.add_argument("--arrival-window", type=int, default=64,
+                    help="ticks over which tenant arrivals are spread")
+    pp.add_argument("--p99-bound", type=float, default=8.0,
+                    help="propose-latency p99 SLO bound in shard ticks")
+    pp.add_argument("--out", default="BENCH_serve.json",
+                    help="root-level bench artifact ('' disables)")
+    pp.add_argument("--quiet", action="store_true",
+                    help="suppress progress lines")
+    pp.set_defaults(fn=_cmd_serve_bench)
+
+    pp = serve_sub.add_parser(
+        "run", help="live JSONL-over-asyncio socket service"
+    )
+    pp.add_argument("--host", default="127.0.0.1")
+    pp.add_argument("--port", type=int, default=8902)
+    pp.add_argument("--shards", type=int, default=4,
+                    help="shard workers (tenants assigned by stable hash)")
+    pp.add_argument("--seed", type=int, default=0,
+                    help="base seed folded into per-tenant strategy seeds")
+    pp.add_argument("--tick-interval", type=float, default=0.05,
+                    help="seconds between shard ticks (batch cadence)")
+    pp.set_defaults(fn=_cmd_serve_run)
+
     p = sub.add_parser("obs", help="telemetry analytics (series, SLO, "
                                    "forensics, convergence, dashboard)")
     obs_sub = p.add_subparsers(dest="obs_command", required=True)
@@ -1171,8 +1298,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _obs_analytics_common(pp)
     pp.add_argument("--sweep", action="store_true",
-                    help="grid both detector families and rank the "
+                    help="grid both detector families plus the resilience "
+                         "(window, cooldown) replay knobs and rank the "
                          "configurations instead of scoring the defaults")
+    pp.add_argument("--inner", default="UCB",
+                    help="inner strategy of the resilience replay sweep")
     pp.add_argument("--top", type=int, default=0,
                     help="rows of the ranked sweep table (0 = all)")
     pp.add_argument("--out", default="",

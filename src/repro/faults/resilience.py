@@ -75,9 +75,18 @@ class ResilientStrategy(Strategy):
         Registry name of the wrapped strategy.
     window:
         Recent observations replayed into a rebuilt inner (replay-safe
-        inners only).
+        inners only).  The default is the top-ranked value of the
+        resilience replay sweep (``repro obs forensics --sweep``; ranked
+        table in EXPERIMENTS.md, "Resilience replay sweep"): ``window=40``
+        beats the previous ``window=20`` on mean expected regret across
+        the canned schedule family on every scenario swept (a larger
+        replay keeps more post-change evidence, so a rebuilt inner
+        converges faster).
     cooldown:
         Minimum iterations between two detector-triggered rebuilds.
+        The sweep found regret indifferent to cooldown in 4..16
+        (re-exploration fires about once per fault regime, so the bound
+        rarely binds); the pinned 8 is retained.
     detector_delta / detector_threshold:
         Page-Hinkley drift tolerance and alarm threshold, in noise-scale
         units (see :mod:`repro.faults.detector`).  The defaults are the
@@ -98,7 +107,7 @@ class ResilientStrategy(Strategy):
     """
 
     inner: str = "GP-discontinuous"
-    window: int = 20
+    window: int = 40
     cooldown: int = 8
     detector_delta: float = 0.25
     detector_threshold: float = 6.0

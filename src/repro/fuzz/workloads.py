@@ -35,8 +35,8 @@ from ..runtime import (
     DataRegistry,
     PerfModel,
     SimulationResult,
-    Simulator,
     TaskGraph,
+    simulator_factory,
 )
 
 #: Phase names of the pipeline, in dependency order (the analogue of
@@ -223,7 +223,9 @@ class MSRApp:
     ) -> None:
         self.cluster = cluster
         self.workload = workload
-        self.simulator = Simulator(
+        # Same switch as the Cholesky app: fast engine by default,
+        # REPRO_SIMFAST=0 opts back into the reference Simulator.
+        self.simulator = simulator_factory()(
             cluster,
             perfmodel if perfmodel is not None else msr_perfmodel(),
             trace=trace,

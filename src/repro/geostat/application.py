@@ -99,8 +99,8 @@ class ExaGeoStat:
     ) -> None:
         self.cluster = cluster
         self.workload = workload
-        # The engine is the reference Simulator unless REPRO_SIMFAST
-        # opts into the bit-identical fast path (simulator_factory).
+        # The bit-identical fast engine is the default; REPRO_SIMFAST=0
+        # opts back into the reference Simulator (simulator_factory).
         self.simulator = simulator_factory()(cluster, perfmodel)
         self.noise = noise
         self.rng = np.random.default_rng(seed)

@@ -118,8 +118,31 @@ class ScenarioBatch:
     # -- measurement ----------------------------------------------------------------
 
     def simulate(self, plan: IterationPlan) -> SimulationResult:
-        """Simulate one configuration (uncached, no noise, no trace)."""
-        return self._sim.run_plan(self.plan(plan.n_fact, plan.n_gen))
+        """Simulate one configuration (uncached, no noise).
+
+        Emits the same ``simulator.run`` tracer event as
+        :meth:`Simulator.run` / :meth:`FastSimulator.run`, so a traced
+        batched sweep carries the per-configuration records the obs
+        stats layer aggregates -- byte-identical to the naive path.
+        """
+        from ..obs import get_tracer
+
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._sim.run_plan(self.plan(plan.n_fact, plan.n_gen))
+        host_t0 = tracer.clock.now()
+        result = self._sim.run_plan(self.plan(plan.n_fact, plan.n_gen))
+        tracer.event(
+            "simulator.run",
+            makespan=result.makespan,
+            tasks=result.task_count,
+            transfers=result.transfer_count,
+            comm_s=result.comm_time,
+            host_s=tracer.clock.now() - host_t0,
+            phases={p: s[1] - s[0] for p, s in result.phase_spans.items()},
+        )
+        tracer.count("simulator.runs")
+        return result
 
     def measure(self, n_fact: int, n_gen: Optional[int] = None) -> float:
         """Deterministic makespan of one configuration, memoized."""

@@ -464,3 +464,164 @@ def best_config(rows: Sequence[SweepRow],
         if family is None or row.config.family == family:
             return row.config
     raise ValueError(f"no swept configuration of family {family!r}")
+
+
+# -- resilience replay sweep ---------------------------------------------------------
+#
+# The detector sweep above scores alarm quality in isolation; this
+# section closes the loop by replaying whole faulted episodes and
+# grid-searching the two ResilientStrategy knobs the detector sweep
+# cannot see: the replay ``window`` (observations warm-started into a
+# rebuilt inner) and the re-exploration ``cooldown`` (minimum
+# iterations between detector-triggered rebuilds).  Scoring is the
+# campaign's expected-regret accounting, so the pinned defaults row is
+# directly comparable to ``repro faults run`` output.
+
+#: Replay-window grid swept by :func:`sweep_resilience`.
+RESILIENCE_WINDOWS = (10, 20, 40)
+
+#: Re-exploration cooldown grid swept by :func:`sweep_resilience`.
+RESILIENCE_COOLDOWNS = (4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One (window, cooldown) point of the resilience replay sweep."""
+
+    inner: str = "UCB"
+    window: int = 40
+    cooldown: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+
+    def key(self) -> str:
+        """Compact stable identifier used in tables and metric names."""
+        return f"res(w={self.window},c={self.cooldown})"
+
+    def build(self, space, seed: int):
+        """A fresh :class:`ResilientStrategy` with these knobs.
+
+        Built directly (not through the registry) so the swept knobs
+        override the pinned defaults while seed derivation matches the
+        campaign harness exactly -- the pinned-defaults point
+        (``window=40, cooldown=8``) replays ``Resilient(<inner>)``
+        campaign cells bit-identically.
+        """
+        from ..faults.resilience import ResilientStrategy
+
+        return ResilientStrategy(
+            space=space, seed=seed, inner=self.inner,
+            window=self.window, cooldown=self.cooldown,
+        )
+
+
+def resilience_grid(inner: str = "UCB") -> List[ResilienceConfig]:
+    """Every (window, cooldown) configuration, in fixed grid order."""
+    return [
+        ResilienceConfig(inner=inner, window=window, cooldown=cooldown)
+        for window, cooldown in product(RESILIENCE_WINDOWS,
+                                        RESILIENCE_COOLDOWNS)
+    ]
+
+
+@dataclass
+class ResilienceRow:
+    """One configuration's regret pooled across schedules and reps."""
+
+    config: ResilienceConfig
+    regrets: List[float] = field(default_factory=list)   # per (schedule, rep)
+    reexplorations: int = 0                              # pooled
+
+    @property
+    def mean_regret(self) -> float:
+        return (sum(self.regrets) / len(self.regrets)
+                if self.regrets else 0.0)
+
+    @property
+    def mean_reexplorations(self) -> float:
+        return (self.reexplorations / len(self.regrets)
+                if self.regrets else 0.0)
+
+
+def sweep_resilience(
+    bank,
+    schedules: Sequence[FaultSchedule],
+    inner: str = "UCB",
+    iterations: int = 60,
+    reps: int = 5,
+    base_seed: int = 0,
+    grid: Optional[Sequence[ResilienceConfig]] = None,
+) -> List[ResilienceRow]:
+    """Replay faulted episodes over the (window, cooldown) grid.
+
+    Every episode reuses the campaign harness pieces verbatim --
+    :func:`~repro.evaluate.parallel.run_cell_trace` with the schedule's
+    :class:`~repro.faults.injector.FaultInjector`, cell seeds from
+    :func:`~repro.evaluate.parallel.derive_cell_seed` under the
+    registry name ``Resilient(<inner>)`` -- so the pinned-defaults row
+    reproduces the campaign's regret exactly and the whole table is
+    byte-identical across runs.  Ranking: mean expected regret
+    ascending, then the config key (total order).
+    """
+    from ..evaluate.faults_campaign import (
+        _bank_means,
+        cumulative_fault_regret,
+    )
+    from ..evaluate.parallel import derive_cell_seed, run_cell_trace
+    from ..faults.resilience import resilient_name
+
+    means = _bank_means(bank)
+    space = bank.action_space()
+    name = resilient_name(inner)
+    rows = []
+    for config in (grid if grid is not None else resilience_grid(inner)):
+        row = ResilienceRow(config=config)
+        for schedule in schedules:
+            injector = FaultInjector(schedule, bank.actions, iterations)
+            oracle = [
+                injector.oracle_duration(t, means)[1]
+                for t in range(iterations)
+            ]
+            for rep in range(reps):
+                rng = np.random.default_rng(
+                    derive_cell_seed(name, rep, base_seed)
+                )
+                strategy = config.build(space, seed=rep + base_seed)
+                _, chosen, _ = run_cell_trace(
+                    strategy, bank, iterations, rng, injector=injector
+                )
+                row.regrets.append(cumulative_fault_regret(
+                    injector, chosen, means, oracle))
+                row.reexplorations += strategy.reexplorations
+        rows.append(row)
+    rows.sort(key=lambda row: (
+        row.mean_regret, row.config.window, row.config.cooldown,
+    ))
+    return rows
+
+
+def render_resilience_table(
+    rows: Sequence[ResilienceRow], top: int = 0
+) -> str:
+    """Ranked (window, cooldown) regret table (the EXPERIMENTS.md artifact)."""
+    from ..evaluate.report import format_table
+
+    if top > 0:
+        rows = rows[:top]
+    return format_table(
+        ["rank", "config", "mean regret", "reexplores/run"],
+        [[i + 1, row.config.key(), f"{row.mean_regret:.2f}",
+          f"{row.mean_reexplorations:.2f}"]
+         for i, row in enumerate(rows)],
+    )
+
+
+def best_resilience(rows: Sequence[ResilienceRow]) -> ResilienceConfig:
+    """Top-ranked (window, cooldown) configuration of the replay sweep."""
+    if not rows:
+        raise ValueError("no swept resilience configurations")
+    return rows[0].config

@@ -60,6 +60,12 @@ GATED_METRICS = (
     # `identical: true`; any mismatch is an unbounded relative increase
     # over a zero baseline, so it always trips.
     "simfast.mismatches",
+    # Tuning-service gates (BENCH_serve.json): the per-tenant propose
+    # p99 is in deterministic shard ticks (lower is better, like every
+    # simulated-time metric), and errors sit on a zero baseline so any
+    # protocol refusal during the seeded bench trips the gate.
+    "serve.propose_p99_ticks",
+    "serve.errors",
 )
 
 #: Prefixes of additional gated metric families.
@@ -319,6 +325,34 @@ def merge_forensics_metrics(
     return out
 
 
+def merge_serve_metrics(
+    metrics: Dict[str, float], bench_path: Union[str, Path]
+) -> Dict[str, float]:
+    """Fold ``BENCH_serve.json`` into a metric dict.
+
+    Merges every ``serve.*`` metric of the tuning-service bench.  Two
+    of them are gated (``serve.propose_p99_ticks``,
+    ``serve.errors``); the rest -- tenants served, throughput per
+    tick, mean regret, bank-store reuse -- are informational.  All are
+    deterministic tick-clock quantities, never wall-clock.  Missing or
+    unreadable reports merge nothing.
+    """
+    path = Path(bench_path)
+    if not path.exists():
+        return dict(metrics)
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return dict(metrics)
+    out = dict(metrics)
+    body = report.get("metrics")
+    if isinstance(body, dict):
+        for key, value in body.items():
+            if key.startswith("serve.") and isinstance(value, (int, float)):
+                out[key] = float(value)
+    return out
+
+
 def collect_metrics(
     scenario_key: str,
     n_fact: Optional[int] = None,
@@ -326,14 +360,16 @@ def collect_metrics(
     bench_path: Optional[Union[str, Path]] = None,
     simfast_path: Optional[Union[str, Path]] = None,
     forensics_path: Optional[Union[str, Path]] = None,
+    serve_path: Optional[Union[str, Path]] = None,
 ):
     """Compute the current run's ledger metrics for one scenario.
 
     Returns ``(metrics, config)``: the flattened timeline analytics of a
     deterministic traced iteration, optionally merged with bench
     aggregates (``bench_path``), the fast-engine differential report
-    (``simfast_path``) and the telemetry analytics report
-    (``forensics_path``).
+    (``simfast_path``), the telemetry analytics report
+    (``forensics_path``) and the tuning-service bench report
+    (``serve_path``).
     """
     from .timeline import analyze, flat_metrics, simulate_timeline
 
@@ -347,6 +383,8 @@ def collect_metrics(
         metrics = merge_simfast_metrics(metrics, simfast_path)
     if forensics_path is not None:
         metrics = merge_forensics_metrics(metrics, forensics_path)
+    if serve_path is not None:
+        metrics = merge_serve_metrics(metrics, serve_path)
     return metrics, cfg
 
 

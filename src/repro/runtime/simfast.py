@@ -469,16 +469,18 @@ def compile_plan(
     )
 
 
-def simulator_factory(default: str = "0"):
+def simulator_factory(default: str = "1"):
     """The engine class a construction site should instantiate.
 
-    Returns :class:`FastSimulator` when ``REPRO_SIMFAST`` is set to a
-    truthy value ("1", "true", "yes", "on"), else the reference
-    :class:`Simulator`.  Both produce bit-identical results; the switch
-    is opt-in so the reference engine stays the default oracle.
+    Returns the reference :class:`Simulator` when ``REPRO_SIMFAST`` is
+    set to a falsy value ("0", "false", "no", "off"), else the fast
+    engine :class:`FastSimulator`.  Both produce bit-identical results;
+    the fast path is the default for campaign and serve paths, with
+    ``REPRO_SIMFAST=0`` as the opt-out back to the reference oracle
+    (which the differential suite still exercises explicitly).
     """
     flag = os.environ.get(SIMFAST_ENV, default).strip().lower()
-    return FastSimulator if flag in ("1", "true", "yes", "on") else Simulator
+    return Simulator if flag in ("0", "false", "no", "off") else FastSimulator
 
 
 class FastSimulator:

@@ -1,0 +1,276 @@
+"""Wire protocol of the tuning service: schema-versioned JSONL messages.
+
+One message per line, rendered with the observability layer's canonical
+JSON encoding (sorted keys, compact separators) so a request/response
+stream is byte-stable across runs, shard counts and Python versions.
+
+Requests (client -> service)::
+
+    {"kind": "hello",   "schema": 1, "tenant": ..., "strategy": ...,
+     "seed": ..., "scenario": ...}            # or "space": {...}
+    {"kind": "observe", "schema": 1, "tenant": ..., "n": ..., "duration": ...}
+    {"kind": "propose", "schema": 1, "tenant": ...}
+    {"kind": "bye",     "schema": 1, "tenant": ...}
+
+Responses (service -> client)::
+
+    {"kind": "welcome",  "tenant": ..., "shard": ..., "actions": [...]}
+    {"kind": "ack",      "tenant": ..., "observed": ..., "tick": ...}
+    {"kind": "proposal", "tenant": ..., "n": ..., "tick": ...}
+    {"kind": "goodbye",  "tenant": ..., "proposes": ..., "observes": ...}
+    {"kind": "error",    "code": ..., "detail": ...}
+
+Parsing is strict: any malformed line raises :class:`ProtocolError`
+with a stable machine-readable ``code``, which the service renders back
+as an ``error`` response instead of crashing the shard.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional, Sequence
+
+from ..obs.sink import encode_record
+
+#: Version stamped on (and required of) every request message.
+SERVE_SCHEMA_VERSION = 1
+
+#: Hard per-line bound; longer frames are rejected before JSON parsing
+#: so a misbehaving client cannot balloon the shard's memory.
+MAX_LINE_BYTES = 64 * 1024
+
+#: Request kinds the service accepts, in lifecycle order.
+REQUEST_KINDS = ("hello", "observe", "propose", "bye")
+
+#: Response kinds the service emits.
+RESPONSE_KINDS = ("welcome", "ack", "proposal", "goodbye", "error")
+
+#: Stable error codes carried by :class:`ProtocolError`.
+ERROR_CODES = (
+    "line-too-long",
+    "malformed-json",
+    "not-an-object",
+    "bad-schema",
+    "unknown-kind",
+    "missing-field",
+    "bad-field",
+    "bad-space",
+    "unknown-scenario",
+    "unknown-strategy",
+    "unknown-tenant",
+    "duplicate-tenant",
+)
+
+
+class ProtocolError(ValueError):
+    """A request the service refuses, with a stable machine code."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown protocol error code {code!r}")
+        super().__init__(f"{code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+def render(message: Dict[str, object]) -> str:
+    """Canonical single-line JSON rendering of one message."""
+    return encode_record(message)
+
+
+# -- request validation --------------------------------------------------------------
+
+
+def _require(body: dict, field: str, kinds, kind: str):
+    if field not in body:
+        raise ProtocolError("missing-field",
+                            f"{kind} request lacks {field!r}")
+    value = body[field]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ProtocolError(
+            "bad-field",
+            f"{kind}.{field} must be {getattr(kinds, '__name__', kinds)}, "
+            f"got {type(value).__name__}",
+        )
+    return value
+
+
+def _validate_space(space: object) -> Dict[str, object]:
+    """Shape-check an inline action space declaration."""
+    if not isinstance(space, dict):
+        raise ProtocolError("bad-space", "space must be an object")
+    actions = space.get("actions")
+    if (not isinstance(actions, list) or not actions
+            or not all(isinstance(a, int) and not isinstance(a, bool)
+                       and a >= 1 for a in actions)):
+        raise ProtocolError("bad-space",
+                            "space.actions must be a non-empty list of "
+                            "positive integers")
+    if sorted(actions) != list(actions) or len(set(actions)) != len(actions):
+        raise ProtocolError("bad-space",
+                            "space.actions must be strictly increasing")
+    boundaries = space.get("group_boundaries", [])
+    if (not isinstance(boundaries, list)
+            or not all(isinstance(b, int) and not isinstance(b, bool)
+                       for b in boundaries)):
+        raise ProtocolError("bad-space",
+                            "space.group_boundaries must be a list of "
+                            "integers")
+    return {"actions": [int(a) for a in actions],
+            "group_boundaries": [int(b) for b in boundaries]}
+
+
+def parse_request(line: str) -> Dict[str, object]:
+    """Parse and validate one request line.
+
+    Returns the validated message dict; raises :class:`ProtocolError`
+    on any deviation from the schema.
+    """
+    if len(line.encode("utf-8", errors="replace")) > MAX_LINE_BYTES:
+        raise ProtocolError("line-too-long",
+                            f"frame exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("malformed-json", str(exc)) from exc
+    if not isinstance(body, dict):
+        raise ProtocolError("not-an-object",
+                            f"expected object, got {type(body).__name__}")
+    schema = body.get("schema")
+    if schema != SERVE_SCHEMA_VERSION:
+        raise ProtocolError(
+            "bad-schema",
+            f"schema must be {SERVE_SCHEMA_VERSION}, got {schema!r}",
+        )
+    kind = body.get("kind")
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError("unknown-kind",
+                            f"kind must be one of {list(REQUEST_KINDS)}, "
+                            f"got {kind!r}")
+    tenant = _require(body, "tenant", str, kind)
+    if not tenant:
+        raise ProtocolError("bad-field", f"{kind}.tenant must be non-empty")
+    if kind == "hello":
+        _require(body, "strategy", str, kind)
+        seed = _require(body, "seed", int, kind)
+        if seed < 0:
+            raise ProtocolError("bad-field", "hello.seed must be >= 0")
+        if ("scenario" in body) == ("space" in body):
+            raise ProtocolError(
+                "missing-field",
+                "hello needs exactly one of 'scenario' or 'space'",
+            )
+        if "scenario" in body:
+            _require(body, "scenario", str, kind)
+        else:
+            body = dict(body)
+            body["space"] = _validate_space(body["space"])
+    elif kind == "observe":
+        n = _require(body, "n", int, kind)
+        if n < 1:
+            raise ProtocolError("bad-field", "observe.n must be >= 1")
+        duration = _require(body, "duration", (int, float), kind)
+        if not math.isfinite(duration):
+            raise ProtocolError("bad-field",
+                                "observe.duration must be finite")
+    return body
+
+
+# -- request constructors ------------------------------------------------------------
+
+
+def hello(tenant: str, strategy: str, seed: int,
+          scenario: Optional[str] = None,
+          space: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Build a ``hello`` registration request."""
+    body: Dict[str, object] = {
+        "schema": SERVE_SCHEMA_VERSION, "kind": "hello",
+        "tenant": tenant, "strategy": strategy, "seed": int(seed),
+    }
+    if scenario is not None:
+        body["scenario"] = scenario
+    if space is not None:
+        body["space"] = space
+    return body
+
+
+def observe(tenant: str, n: int, duration: float) -> Dict[str, object]:
+    """Build an ``observe`` request carrying one measured duration."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "observe",
+            "tenant": tenant, "n": int(n), "duration": float(duration)}
+
+
+def propose(tenant: str) -> Dict[str, object]:
+    """Build a ``propose`` request asking for the next configuration."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "propose",
+            "tenant": tenant}
+
+
+def bye(tenant: str) -> Dict[str, object]:
+    """Build a ``bye`` request ending the session."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "bye", "tenant": tenant}
+
+
+# -- response constructors -----------------------------------------------------------
+
+
+def welcome(tenant: str, shard: int,
+            actions: Sequence[int]) -> Dict[str, object]:
+    """Registration acknowledgement with the resolved action menu."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "welcome",
+            "tenant": tenant, "shard": int(shard),
+            "actions": [int(a) for a in actions]}
+
+
+def ack(tenant: str, observed: int, tick: int) -> Dict[str, object]:
+    """Acknowledgement of one applied observation."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "ack",
+            "tenant": tenant, "observed": int(observed), "tick": int(tick)}
+
+
+def proposal(tenant: str, n: int, tick: int) -> Dict[str, object]:
+    """The next configuration for one tenant."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "proposal",
+            "tenant": tenant, "n": int(n), "tick": int(tick)}
+
+
+def goodbye(tenant: str, proposes: int, observes: int) -> Dict[str, object]:
+    """Session-end summary."""
+    return {"schema": SERVE_SCHEMA_VERSION, "kind": "goodbye",
+            "tenant": tenant, "proposes": int(proposes),
+            "observes": int(observes)}
+
+
+def error_response(err: ProtocolError,
+                   tenant: Optional[str] = None) -> Dict[str, object]:
+    """Render a refused request as an ``error`` response message."""
+    body: Dict[str, object] = {
+        "schema": SERVE_SCHEMA_VERSION, "kind": "error",
+        "code": err.code, "detail": err.detail,
+    }
+    if tenant is not None:
+        body["tenant"] = tenant
+    return body
+
+
+def parse_response(line: str) -> Dict[str, object]:
+    """Parse one response line (client side of the wire).
+
+    Lighter-weight than :func:`parse_request`: shape problems raise
+    :class:`ProtocolError` with the same stable codes.
+    """
+    try:
+        body = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("malformed-json", str(exc)) from exc
+    if not isinstance(body, dict):
+        raise ProtocolError("not-an-object",
+                            f"expected object, got {type(body).__name__}")
+    if body.get("schema") != SERVE_SCHEMA_VERSION:
+        raise ProtocolError("bad-schema",
+                            f"schema must be {SERVE_SCHEMA_VERSION}")
+    if body.get("kind") not in RESPONSE_KINDS:
+        raise ProtocolError("unknown-kind",
+                            f"kind must be one of {list(RESPONSE_KINDS)}")
+    return body

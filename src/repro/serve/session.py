@@ -1,0 +1,188 @@
+"""One tenant's strategy lifecycle inside a shard worker.
+
+A session owns a registry strategy instance and drives it through the
+existing propose/observe contract as protocol messages arrive.  Every
+quantity a session reports -- applied observations, proposals, queueing
+latencies -- is a pure function of the tenant's own request stream and
+seed, never of co-tenants or of which shard hosts it.  That invariant
+is what makes the bench report byte-identical across shard counts (see
+DESIGN, "Shard determinism").
+
+Updates are *batched per shard tick*: requests enqueue immediately, and
+the owning shard services each session once per tick, applying up to
+``observe_batch`` queued observations as one strategy update and
+answering at most ``propose_batch`` proposals.  The recorded latency of
+a request is the number of ticks from enqueue to service (>= 1), i.e.
+the batching delay a live client would experience.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Tuple
+
+from ..strategies.base import ActionSpace
+from ..strategies.registry import make_strategy
+from . import protocol
+
+#: Content tag namespacing every serve-layer seed derivation, so tenant
+#: streams can never collide with harness cells (0xBA5E), forensics
+#: streams (0xF04E) or fuzzed platforms (0xF022).
+SERVE_TAG = 0x5E12
+
+#: Observations applied per session per shard tick (one batched
+#: strategy update); the warm-start backlog of a freshly connected
+#: tenant drains at this rate.
+DEFAULT_OBSERVE_BATCH = 8
+
+#: Proposals answered per session per shard tick.
+DEFAULT_PROPOSE_BATCH = 1
+
+
+def derive_tenant_seed(tenant_id: str, base_seed: int = 0) -> int:
+    """Deterministic integer strategy seed for one tenant.
+
+    CRC32 of the tenant id folded with the service's base seed --
+    stable across processes and Python versions (never the salted
+    builtin ``hash``), and independent of registration order.
+    """
+    return zlib.crc32(f"{base_seed}:{tenant_id}".encode("utf-8"))
+
+
+class TenantSession:
+    """Strategy + request queue for one tenant.
+
+    Parameters
+    ----------
+    tenant_id:
+        Wire identity of the tenant (non-empty string).
+    strategy_name:
+        Registry name (``repro.strategies.registry.registered_names``).
+    space:
+        Action space the strategy explores.
+    seed:
+        Strategy seed (see :func:`derive_tenant_seed`).
+    observe_batch / propose_batch:
+        Per-tick servicing budgets (see module docstring).
+    """
+
+    def __init__(
+        self,
+        tenant_id: str,
+        strategy_name: str,
+        space: ActionSpace,
+        seed: int = 0,
+        observe_batch: int = DEFAULT_OBSERVE_BATCH,
+        propose_batch: int = DEFAULT_PROPOSE_BATCH,
+    ) -> None:
+        if observe_batch < 1 or propose_batch < 1:
+            raise ValueError("per-tick budgets must be >= 1")
+        self.tenant_id = tenant_id
+        self.strategy_name = strategy_name
+        self.strategy = make_strategy(strategy_name, space, seed=seed)
+        self.observe_batch = observe_batch
+        self.propose_batch = propose_batch
+        #: FIFO of (message, arrival_tick) awaiting the shard tick.
+        self.inbox: Deque[Tuple[Dict[str, object], int]] = deque()
+        self.proposes = 0
+        self.observes = 0
+        self.closed = False
+        #: Ticks-from-enqueue-to-service per answered proposal; the
+        #: bench's p99 is computed over these, merged in sorted-tenant
+        #: order so the aggregate never depends on shard layout.
+        self.propose_latencies: List[int] = []
+        #: Same, for applied observations.
+        self.observe_latencies: List[int] = []
+
+    # -- queueing ----------------------------------------------------------------------
+
+    def enqueue(self, message: Dict[str, object], tick: int) -> None:
+        """Queue one validated observe/propose/bye request."""
+        if self.closed:
+            raise protocol.ProtocolError(
+                "unknown-tenant",
+                f"tenant {self.tenant_id!r} already said bye",
+            )
+        self.inbox.append((message, tick))
+
+    def pending(self) -> int:
+        """Requests still waiting for a shard tick."""
+        return len(self.inbox)
+
+    # -- servicing ---------------------------------------------------------------------
+
+    def step(self, tick: int) -> List[Dict[str, object]]:
+        """Service this session for one shard tick.
+
+        Applies at most ``observe_batch`` queued observations as one
+        batched strategy update and answers at most ``propose_batch``
+        proposals, strictly in arrival order (an unserviced proposal
+        also blocks later observations so the client's stream ordering
+        is preserved).  Returns the response messages, oldest first.
+        """
+        responses: List[Dict[str, object]] = []
+        observed = 0
+        proposed = 0
+        while self.inbox:
+            message, arrival = self.inbox[0]
+            kind = message["kind"]
+            if kind == "observe":
+                if observed >= self.observe_batch:
+                    break
+                self.strategy.observe(int(message["n"]),
+                                      float(message["duration"]))
+                observed += 1
+                self.observes += 1
+                self.observe_latencies.append(tick - arrival + 1)
+                responses.append(protocol.ack(
+                    self.tenant_id, observed=self.observes, tick=tick))
+            elif kind == "propose":
+                if proposed >= self.propose_batch:
+                    break
+                n = self.strategy.propose()
+                proposed += 1
+                self.proposes += 1
+                self.propose_latencies.append(tick - arrival + 1)
+                responses.append(protocol.proposal(
+                    self.tenant_id, n=n, tick=tick))
+            else:  # bye
+                self.closed = True
+                responses.append(protocol.goodbye(
+                    self.tenant_id, proposes=self.proposes,
+                    observes=self.observes))
+                self.inbox.clear()
+                return responses
+            self.inbox.popleft()
+        return responses
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Deterministic per-tenant summary for the bench report."""
+        return {
+            "tenant": self.tenant_id,
+            "strategy": self.strategy_name,
+            "proposes": self.proposes,
+            "observes": self.observes,
+            "closed": self.closed,
+        }
+
+
+def space_from_wire(body: Dict[str, object]) -> ActionSpace:
+    """Build an :class:`ActionSpace` from a validated ``hello.space``.
+
+    Inline spaces carry no LP bound (a live tenant's lower bound is
+    unknowable service-side); strategies that consult it receive 0.0,
+    the same degenerate bound the synthetic test banks use.
+    """
+    actions = tuple(int(a) for a in body["actions"])  # type: ignore[index]
+    boundaries = tuple(
+        int(b) for b in body.get("group_boundaries", [])  # type: ignore[union-attr]
+    )
+    return ActionSpace(
+        actions=actions,
+        n_total=actions[-1],
+        group_boundaries=boundaries,
+        lp_bound=lambda n: 0.0,
+    )

@@ -34,13 +34,19 @@ from repro.obs.forensics import (
     forensics_metrics,
     join_alarms,
     render_forensics_table,
+    render_resilience_table,
     render_sweep_table,
+    ResilienceConfig,
+    best_resilience,
+    resilience_grid,
     result_to_dict,
     sweep_detectors,
     sweep_grid,
+    sweep_resilience,
     truth_change_points,
 )
 from repro.measure.bank import synthetic_bank
+from repro.strategies.base import ActionSpace
 
 GOLDEN = Path(__file__).parent.parent / "goldens" / \
     "forensics_crash_interference.txt"
@@ -227,6 +233,51 @@ class TestSweep:
                                grid=default_configs())
         with pytest.raises(ValueError):
             best_config(rows, "nope")
+
+
+class TestResilienceSweep:
+    def test_grid_is_the_full_product(self):
+        grid = resilience_grid("UCB")
+        keys = [c.key() for c in grid]
+        assert len(keys) == len(set(keys)) == 9
+        assert all(c.inner == "UCB" for c in grid)
+        assert {c.window for c in grid} == {10, 20, 40}
+        assert {c.cooldown for c in grid} == {4, 8, 16}
+
+    def test_config_builds_a_registered_resilient(self):
+        from repro.faults.resilience import ResilientStrategy
+
+        config = ResilienceConfig(inner="UCB", window=40, cooldown=16)
+        space = ActionSpace(actions=(1, 2, 4, 8, 16), n_total=16)
+        strategy = config.build(space, seed=3)
+        assert isinstance(strategy, ResilientStrategy)
+        assert strategy.window == 40
+        assert strategy.cooldown == 16
+        assert strategy.seed == 3
+
+    def test_sweep_ranked_numeric_and_deterministic(self, bank, schedules):
+        grid = (
+            ResilienceConfig(window=10, cooldown=16),
+            ResilienceConfig(window=10, cooldown=4),
+        )
+        a = sweep_resilience(bank, [schedules["crash"]], iterations=20,
+                             reps=1, grid=grid)
+        b = sweep_resilience(bank, [schedules["crash"]], iterations=20,
+                             reps=1, grid=grid)
+        assert [r.config.key() for r in a] == [r.config.key() for r in b]
+        regrets = [row.mean_regret for row in a]
+        assert regrets == sorted(regrets)
+        # Equal regrets rank by (window, cooldown) numerically, so c=4
+        # precedes c=16 despite "16" < "4" lexicographically.
+        if regrets[0] == regrets[1]:
+            assert a[0].config.cooldown == 4
+        assert render_resilience_table(a) == render_resilience_table(b)
+        assert best_resilience(a) is a[0].config
+        assert render_resilience_table(a, top=1).count("res(") == 1
+
+    def test_best_resilience_empty(self):
+        with pytest.raises(ValueError):
+            best_resilience([])
 
 
 class TestGolden:

@@ -77,9 +77,13 @@ def test_batch_measure_matches_sweep_loop():
 
 
 def test_sweep_scenario_identical_under_fast_flag(monkeypatch):
-    """The opt-in env flag must not change a single bank value."""
+    """The engine flag must not change a single bank value.
+
+    The fast engine is the default; ``REPRO_SIMFAST=0`` is the opt-out,
+    so the reference side pins the flag off explicitly.
+    """
     scenario = get_scenario("a")
-    monkeypatch.delenv("REPRO_SIMFAST", raising=False)
+    monkeypatch.setenv("REPRO_SIMFAST", "0")
     ref_bank = sweep_scenario(scenario, augment=2, include_rigid=True)
     monkeypatch.setenv("REPRO_SIMFAST", "1")
     fast_bank = sweep_scenario(scenario, augment=2, include_rigid=True)
@@ -90,6 +94,20 @@ def test_sweep_scenario_identical_under_fast_flag(monkeypatch):
         (fast_bank.samples[n] == ref_bank.samples[n]).all()
         for n in ref_bank.actions
     )
+
+
+def test_simulator_factory_default_on_with_opt_out(monkeypatch):
+    """Unset or truthy selects the fast engine; falsy opts back out."""
+    from repro.runtime import FastSimulator, simulator_factory
+
+    monkeypatch.delenv("REPRO_SIMFAST", raising=False)
+    assert simulator_factory() is FastSimulator
+    for flag in ("0", "false", "no", "off"):
+        monkeypatch.setenv("REPRO_SIMFAST", flag)
+        assert simulator_factory() is Simulator
+    for flag in ("1", "true", "yes", "on"):
+        monkeypatch.setenv("REPRO_SIMFAST", flag)
+        assert simulator_factory() is FastSimulator
 
 
 def test_plan_rejects_out_of_range_configs():

@@ -1,0 +1,180 @@
+"""Goldens and exit paths of the serve wire protocol (serve/protocol.py)."""
+
+import json
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    SERVE_SCHEMA_VERSION,
+    ProtocolError,
+    error_response,
+    parse_request,
+    parse_response,
+    render,
+)
+
+
+class TestRenderGoldens:
+    """The canonical encoding is pinned byte for byte: the bench and CI
+    compare whole report files, so a silent encoding change must fail
+    loudly here first."""
+
+    def test_propose_golden(self):
+        assert render(protocol.propose("t0001")) == (
+            '{"kind":"propose","schema":1,"tenant":"t0001"}'
+        )
+
+    def test_bye_golden(self):
+        assert render(protocol.bye("t9")) == (
+            '{"kind":"bye","schema":1,"tenant":"t9"}'
+        )
+
+    def test_observe_golden(self):
+        assert render(protocol.observe("t1", 8, 2.5)) == (
+            '{"duration":2.5,"kind":"observe","n":8,"schema":1,'
+            '"tenant":"t1"}'
+        )
+
+    def test_hello_scenario_golden(self):
+        assert render(protocol.hello("t1", "UCB", 0, scenario="b")) == (
+            '{"kind":"hello","scenario":"b","schema":1,"seed":0,'
+            '"strategy":"UCB","tenant":"t1"}'
+        )
+
+    def test_proposal_golden(self):
+        assert render(protocol.proposal("t1", n=12, tick=3)) == (
+            '{"kind":"proposal","n":12,"schema":1,"tenant":"t1","tick":3}'
+        )
+
+    def test_render_is_single_line(self):
+        space = {"actions": [1, 2, 4], "group_boundaries": []}
+        line = render(protocol.hello("t1", "UCB", 0, space=space))
+        assert "\n" not in line
+
+
+class TestRoundTrip:
+    def test_every_request_kind_round_trips(self):
+        space = {"actions": [1, 2, 4, 8], "group_boundaries": [4]}
+        for message in (
+            protocol.hello("t1", "UCB", 3, scenario="b"),
+            protocol.hello("t2", "DC", 0, space=space),
+            protocol.observe("t1", 4, 12.75),
+            protocol.propose("t1"),
+            protocol.bye("t1"),
+        ):
+            parsed = parse_request(render(message))
+            assert parsed["kind"] == message["kind"]
+            assert parsed["tenant"] == message["tenant"]
+
+    def test_every_response_kind_round_trips(self):
+        for message in (
+            protocol.welcome("t1", shard=2, actions=[1, 2, 4]),
+            protocol.ack("t1", observed=3, tick=7),
+            protocol.proposal("t1", n=4, tick=7),
+            protocol.goodbye("t1", proposes=5, observes=12),
+            error_response(ProtocolError("bad-field", "nope"), "t1"),
+        ):
+            parsed = parse_response(render(message))
+            assert parsed["kind"] == message["kind"]
+
+    def test_hello_space_is_normalized(self):
+        space = {"actions": [1, 2, 4], "group_boundaries": []}
+        parsed = parse_request(render(protocol.hello(
+            "t1", "UCB", 0, space=space)))
+        assert parsed["space"] == {"actions": [1, 2, 4],
+                                   "group_boundaries": []}
+
+
+def _code_of(line: str) -> str:
+    with pytest.raises(ProtocolError) as exc:
+        parse_request(line)
+    assert exc.value.code in ERROR_CODES
+    return exc.value.code
+
+
+class TestMalformedRequests:
+    def test_line_too_long(self):
+        line = render(protocol.observe("t" * (MAX_LINE_BYTES + 16), 1, 0.0))
+        assert _code_of(line) == "line-too-long"
+
+    def test_malformed_json(self):
+        assert _code_of("not json at all {") == "malformed-json"
+
+    def test_not_an_object(self):
+        assert _code_of("[1, 2, 3]") == "not-an-object"
+
+    def test_missing_schema(self):
+        assert _code_of('{"kind":"propose","tenant":"t1"}') == "bad-schema"
+
+    def test_wrong_schema_version(self):
+        body = protocol.propose("t1")
+        body["schema"] = SERVE_SCHEMA_VERSION + 1
+        assert _code_of(render(body)) == "bad-schema"
+
+    def test_unknown_kind(self):
+        assert _code_of(
+            '{"kind":"shout","schema":1,"tenant":"t1"}') == "unknown-kind"
+
+    def test_missing_tenant(self):
+        assert _code_of('{"kind":"propose","schema":1}') == "missing-field"
+
+    def test_empty_tenant(self):
+        assert _code_of(
+            '{"kind":"propose","schema":1,"tenant":""}') == "bad-field"
+
+    def test_boolean_is_not_an_int(self):
+        body = protocol.observe("t1", 1, 0.5)
+        body["n"] = True
+        assert _code_of(render(body)) == "bad-field"
+
+    def test_observe_rejects_nonpositive_n(self):
+        body = protocol.observe("t1", 0, 0.5)
+        assert _code_of(render(body)) == "bad-field"
+
+    def test_observe_rejects_nonfinite_duration(self):
+        line = ('{"duration":Infinity,"kind":"observe","n":1,"schema":1,'
+                '"tenant":"t1"}')
+        assert _code_of(line) == "bad-field"
+
+    def test_hello_needs_scenario_or_space(self):
+        body = protocol.hello("t1", "UCB", 0)
+        assert _code_of(render(body)) == "missing-field"
+
+    def test_hello_rejects_both_scenario_and_space(self):
+        body = protocol.hello(
+            "t1", "UCB", 0, scenario="b",
+            space={"actions": [1], "group_boundaries": []})
+        assert _code_of(render(body)) == "missing-field"
+
+    def test_hello_rejects_negative_seed(self):
+        body = protocol.hello("t1", "UCB", -1, scenario="b")
+        assert _code_of(render(body)) == "bad-field"
+
+    @pytest.mark.parametrize("space", [
+        "not a dict",
+        {"actions": []},
+        {"actions": [0, 1]},
+        {"actions": [2, 1]},
+        {"actions": [1, 1]},
+        {"actions": [1, 2], "group_boundaries": "x"},
+    ])
+    def test_bad_spaces(self, space):
+        body = protocol.hello("t1", "UCB", 0)
+        body["space"] = space
+        assert _code_of(render(body)) == "bad-space"
+
+
+class TestErrorResponses:
+    def test_error_response_carries_stable_code(self):
+        err = ProtocolError("unknown-tenant", "t1 never said hello")
+        body = error_response(err, "t1")
+        assert body["code"] == "unknown-tenant"
+        assert body["tenant"] == "t1"
+        assert json.loads(render(body))["kind"] == "error"
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "x")

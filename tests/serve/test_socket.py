@@ -1,0 +1,77 @@
+"""Asyncio front-end smoke: one real socket client, full lifecycle."""
+
+import asyncio
+import os
+
+from repro.serve import protocol
+from repro.serve.service import TuningService, serve_forever
+
+SPACE = {"actions": [1, 2, 4, 8], "group_boundaries": []}
+
+
+async def _readline(reader) -> dict:
+    raw = await asyncio.wait_for(reader.readline(), timeout=10)
+    return protocol.parse_response(raw.decode("utf-8").strip())
+
+
+async def _scenario() -> None:
+    service = TuningService(num_shards=2)
+    ready = asyncio.Event()
+    port = 18902 + os.getpid() % 500
+    server = asyncio.ensure_future(serve_forever(
+        service, port=port, tick_interval=0.01, ready=ready))
+    try:
+        await asyncio.wait_for(ready.wait(), timeout=10)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def send(message) -> None:
+            writer.write((protocol.render(message) + "\n").encode("utf-8"))
+            await writer.drain()
+
+        await send(protocol.hello("t1", "UCB", 0, space=dict(SPACE)))
+        welcome = await _readline(reader)
+        assert welcome["kind"] == "welcome"
+        assert welcome["actions"] == SPACE["actions"]
+
+        await send(protocol.propose("t1"))
+        proposal = await _readline(reader)
+        assert proposal["kind"] == "proposal"
+        assert proposal["n"] in SPACE["actions"]
+
+        await send(protocol.observe("t1", int(proposal["n"]), 3.5))
+        ack = await _readline(reader)
+        assert ack["kind"] == "ack"
+        assert ack["observed"] == 1
+
+        # A malformed line is answered with an error, not a hangup.
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        err = await _readline(reader)
+        assert err["kind"] == "error"
+        assert err["code"] == "malformed-json"
+
+        # An unknown tenant is refused with a stable code.
+        await send(protocol.propose("ghost"))
+        err = await _readline(reader)
+        assert err["kind"] == "error"
+        assert err["code"] == "unknown-tenant"
+
+        await send(protocol.bye("t1"))
+        goodbye = await _readline(reader)
+        assert goodbye["kind"] == "goodbye"
+        assert goodbye["proposes"] == 1
+        assert goodbye["observes"] == 1
+
+        writer.close()
+    finally:
+        server.cancel()
+        try:
+            await server
+        except asyncio.CancelledError:
+            pass
+    assert service.retired["t1"].closed
+    assert service.registry.counter("serve.error").value == 2
+
+
+def test_socket_lifecycle_smoke():
+    asyncio.run(_scenario())

@@ -1,0 +1,67 @@
+"""Characterization of the `repro serve` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def small(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TILES_101", "10")
+    monkeypatch.setenv("REPRO_TILES_128", "10")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "banks"))
+    monkeypatch.chdir(tmp_path)
+
+
+class TestServeBench:
+    ARGS = ["serve", "bench", "--tenants", "12", "--shards", "2",
+            "--fuzz", "0", "--quiet"]
+
+    def test_smoke_writes_the_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        assert main(self.ARGS + ["--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "serve bench: 12 tenant(s)" in printed
+        assert "OK" in printed
+        blob = json.loads(out.read_text())
+        assert blob["label"] == "serve-bench"
+        assert blob["metrics"]["serve.tenants"] == 12.0
+        assert blob["ok"] is True
+
+    def test_empty_out_disables_the_artifact(self, capsys, tmp_path):
+        assert main(self.ARGS + ["--out", ""]) == 0
+        assert not (tmp_path / "BENCH_serve.json").exists()
+
+    def test_bad_tenants_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "bench", "--tenants", "0"])
+        assert exc.value.code == 2
+        assert "--tenants" in capsys.readouterr().err
+
+    def test_bad_shards_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "bench", "--shards", "0"])
+        assert exc.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bad_bound_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "bench", "--p99-bound", "0"])
+        assert exc.value.code == 2
+        assert "--p99-bound" in capsys.readouterr().err
+
+
+class TestServeRun:
+    def test_bad_shards_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "run", "--shards", "0"])
+        assert exc.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_bad_interval_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve", "run", "--tick-interval", "0"])
+        assert exc.value.code == 2
+        assert "--tick-interval" in capsys.readouterr().err
